@@ -1,0 +1,35 @@
+"""E6 — Baswana–Sen emulation (§5): (2k-1)-spanner in k batches.
+
+Regenerates the stretch/size table (sketch vs offline construction)
+and times full builds for k ∈ {2, 3} — each build replays the stream
+k times, the adaptive-sketch cost model.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_table, run_table_once
+
+from repro.core import BaswanaSenSpanner
+from repro.eval import make_workload, run_experiment
+from repro.hashing import HashSource
+
+
+def test_e6_table(benchmark, seed):
+    """Regenerate and print the E6 table; stretch bound must hold."""
+    table = run_table_once(benchmark, "e6", seed)
+    for row in table.rows:
+        assert row[7], f"stretch bound violated: {row}"
+
+
+@pytest.mark.parametrize("k", [2, 3])
+def test_bench_build(benchmark, seed, k):
+    wl = make_workload("grid", seed=seed)
+
+    def run():
+        return BaswanaSenSpanner(
+            wl.graph.n, k=k, source=HashSource(seed + k)
+        ).build(wl.stream)
+
+    rep = benchmark(run)
+    assert rep.batches == k

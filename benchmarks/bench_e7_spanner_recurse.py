@@ -1,0 +1,38 @@
+"""E7 — RECURSECONNECT (§5.1, Theorem 5.1): log k adaptive batches.
+
+Regenerates the stretch/adaptivity/contraction table and times full
+builds, including the k ablation (deeper k ⇒ fewer batches relative to
+Baswana–Sen, looser stretch bound).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from conftest import print_table, run_table_once
+
+from repro.core import RecurseConnectSpanner
+from repro.eval import make_workload, run_experiment
+from repro.hashing import HashSource
+
+
+def test_e7_table(benchmark, seed):
+    """Regenerate and print the E7 table; bound and adaptivity must hold."""
+    table = run_table_once(benchmark, "e7", seed)
+    for row in table.rows:
+        assert row[7], f"stretch bound violated: {row}"
+        assert row[2] <= row[3], f"too many adaptive batches: {row}"
+
+
+@pytest.mark.parametrize("k", [2, 4, 8])
+def test_bench_build(benchmark, seed, k):
+    wl = make_workload("grid", seed=seed)
+
+    def run():
+        return RecurseConnectSpanner(
+            wl.graph.n, k=k, source=HashSource(seed + k)
+        ).build(wl.stream)
+
+    rep = benchmark(run)
+    assert rep.batches <= math.ceil(math.log2(k)) + 1

@@ -1,0 +1,50 @@
+"""Benchmark-suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_eX_*.py`` regenerates the table of experiment X — timed
+once via ``benchmark.pedantic`` so it participates in ``--benchmark-
+only`` runs — and times its computational phases with pytest-benchmark.
+Tables are printed (visible with ``-s``) **and** persisted to
+``benchmarks/output/<experiment>.md``; EXPERIMENTS.md archives
+representative copies.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def print_table(table, name: str | None = None) -> None:
+    """Print an experiment table and persist it under benchmarks/output/."""
+    rendered = table.render()
+    print()
+    print(rendered)
+    print()
+    if name is not None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        (OUTPUT_DIR / f"{name}.md").write_text(rendered + "\n")
+
+
+def run_table_once(benchmark, exp_id: str, seed: int):
+    """Run an experiment exactly once under the benchmark harness."""
+    from repro.eval import run_experiment
+
+    table = benchmark.pedantic(
+        run_experiment, args=(exp_id,), kwargs={"quick": True, "seed": seed},
+        rounds=1, iterations=1,
+    )
+    print_table(table, name=exp_id)
+    return table
+
+
+@pytest.fixture(scope="session")
+def seed() -> int:
+    """Fixed seed so benchmark workloads are reproducible."""
+    return 2012  # the paper's year

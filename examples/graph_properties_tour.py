@@ -1,0 +1,105 @@
+"""Tour of the companion property sketches (§1.2 of the paper).
+
+The paper builds on its companion work [4], which established sketches
+for connectivity, k-connectivity, bipartiteness and minimum spanning
+trees.  This library ships all of them; the tour runs each on a small
+infrastructure-flavoured scenario:
+
+* **bipartiteness** — is a task-machine assignment graph still 2-
+  colourable after a stream of edits?
+* **k-edge-connectivity** — does the data-centre fabric survive any
+  k-1 link failures?
+* **MST weight** — cheapest cabling to keep everything connected, with
+  costs as weights, under churn.
+* **cut queries** — list the exact links crossing a rack boundary.
+
+Run:  python examples/graph_properties_tour.py
+"""
+
+from __future__ import annotations
+
+from repro import DynamicGraphStream, HashSource
+from repro.core import (
+    BipartitenessSketch,
+    CutEdgesSketch,
+    MSTWeightSketch,
+    is_k_connected_sketch,
+)
+from repro.streams import complete_bipartite_graph, dumbbell_graph
+
+
+def bipartite_demo() -> None:
+    print("-- bipartiteness: task-machine assignments ------------------")
+    n = 9  # 4 tasks + 5 machines
+    stream = DynamicGraphStream(n)
+    for u, v in complete_bipartite_graph(4, 5):
+        stream.insert(u, v)
+    sketch = BipartitenessSketch(n, HashSource(1)).consume(stream)
+    print(f"  assignment graph bipartite: {sketch.is_bipartite()}")
+
+    # A task-task dependency sneaks in: odd structure appears.
+    stream.insert(0, 1)
+    sketch2 = BipartitenessSketch(n, HashSource(1)).consume(stream)
+    print(f"  after a task-task edge   : {sketch2.is_bipartite()}")
+
+    stream.delete(0, 1)
+    sketch3 = BipartitenessSketch(n, HashSource(1)).consume(stream)
+    print(f"  after deleting it again  : {sketch3.is_bipartite()}")
+
+
+def connectivity_demo() -> None:
+    print("-- k-edge-connectivity: fabric survivability ----------------")
+    clique, uplinks = 8, 4
+    n = 2 * clique
+    stream = DynamicGraphStream(n)
+    for u, v in dumbbell_graph(clique, uplinks):
+        stream.insert(u, v)
+    for k in (3, 4, 5):
+        ok = is_k_connected_sketch(n, k, stream, HashSource(2 + k))
+        verdict = "survives" if ok else "can be partitioned by"
+        print(f"  {verdict} any {k - 1} link failures "
+              f"({k}-connected: {ok})")
+
+
+def mst_demo() -> None:
+    print("-- MST weight: cheapest connecting cabling ------------------")
+    n = 6
+    stream = DynamicGraphStream(n)
+    # (u, v, cost): a ring with one expensive chord.
+    links = [(0, 1, 2), (1, 2, 3), (2, 3, 2), (3, 4, 4), (4, 5, 1), (5, 0, 7)]
+    for u, v, cost in links:
+        stream.insert(u, v, copies=cost)
+    sketch = MSTWeightSketch(n, max_weight=8, source=HashSource(9)).consume(stream)
+    print(f"  minimum cabling cost: {sketch.estimate():.0f} "
+          f"(ring minus the cost-7 link = 12)")
+
+    # The cheap 4-5 link is decommissioned and replaced, pricier.
+    stream.delete(4, 5, copies=1)
+    stream.insert(4, 5, copies=6)
+    sketch2 = MSTWeightSketch(n, max_weight=8, source=HashSource(9)).consume(stream)
+    print(f"  after re-pricing 4-5: {sketch2.estimate():.0f}")
+
+
+def cut_query_demo() -> None:
+    print("-- cut queries: which links cross the rack boundary? --------")
+    clique, uplinks = 6, 3
+    n = 2 * clique
+    stream = DynamicGraphStream(n)
+    for u, v in dumbbell_graph(clique, uplinks):
+        stream.insert(u, v)
+    sketch = CutEdgesSketch(n, k=8, source=HashSource(17)).consume(stream)
+    rack_a = set(range(clique))
+    crossing = sketch.crossing_edges(rack_a)
+    print(f"  links crossing rack A boundary: {sorted(crossing)}")
+    print(f"  boundary capacity: {sketch.cut_value(rack_a)}")
+
+
+def main() -> None:
+    bipartite_demo()
+    connectivity_demo()
+    mst_demo()
+    cut_query_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: sketch a dynamic graph stream and query it.
+
+Builds a small dynamic stream (insertions *and* deletions), feeds it to
+three sketches in a single pass, and queries them:
+
+* connectivity / spanning forest (AGM sketch),
+* (1+ε) minimum cut (Fig. 1),
+* cut sparsifier (Fig. 2).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DynamicGraphStream,
+    HashSource,
+    MinCutSketch,
+    SimpleSparsification,
+    SpanningForestSketch,
+)
+from repro.core import cut_approximation_report
+from repro.graphs import Graph, global_min_cut_value
+
+
+def main() -> None:
+    n = 10
+
+    # A dynamic stream: build a cycle, add chords, then churn some edges.
+    stream = DynamicGraphStream(n)
+    for i in range(n):
+        stream.insert(i, (i + 1) % n)          # cycle
+    stream.insert(0, 5)                        # chord
+    stream.insert(2, 7)                        # chord
+    stream.insert(3, 8)                        # chord — will be deleted
+    stream.delete(3, 8)                        # deletions cancel exactly
+    stream.delete(0, 1)                        # break the cycle...
+    stream.insert(0, 1)                        # ...and repair it
+    print(f"stream: {len(stream)} tokens over {n} nodes, "
+          f"{stream.final_edge_count()} final edges")
+
+    # Ground truth for comparison (a real deployment never has this).
+    graph = Graph.from_multiplicities(n, stream.multiplicities())
+
+    # --- sketch 1: connectivity ------------------------------------------------
+    forest = SpanningForestSketch(n, HashSource(1)).consume(stream)
+    print(f"connected: {forest.is_connected()} "
+          f"(components: {len(forest.connected_components())})")
+
+    # --- sketch 2: minimum cut --------------------------------------------------
+    mincut = MinCutSketch(n, epsilon=0.5, source=HashSource(2)).consume(stream)
+    result = mincut.estimate()
+    print(f"min cut: sketch={result.value} exact={global_min_cut_value(graph)}")
+
+    # --- sketch 3: sparsifier ---------------------------------------------------
+    sparsify = SimpleSparsification(
+        n, epsilon=0.5, source=HashSource(3)
+    ).consume(stream)
+    sparsifier = sparsify.sparsifier()
+    report = cut_approximation_report(graph, sparsifier)
+    print(f"sparsifier: {sparsifier.num_edges}/{graph.num_edges()} edges, "
+          f"max cut error {report.max_relative_error:.3f} over "
+          f"{report.cuts_evaluated} cuts "
+          f"({'exhaustive' if report.exhaustive else 'sampled'})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro — graph sketches for dynamic graph streams.
+
+A from-scratch reproduction of
+
+    Kook Jin Ahn, Sudipto Guha, Andrew McGregor.
+    *Graph Sketches: Sparsification, Spanners, and Subgraphs.*
+    PODS 2012.
+
+The package provides linear sketches of graphs — collections of linear
+measurements of the edge-multiplicity vector — supporting single-pass
+processing of dynamic graph streams (edge insertions *and* deletions),
+mergeable sketches for distributed streams, and adaptive multi-batch
+schemes:
+
+* :class:`~repro.core.mincut.MinCutSketch` — (1+ε) minimum cut (Fig. 1);
+* :class:`~repro.core.sparsify_simple.SimpleSparsification` — cut
+  sparsifier via per-level connectivity witnesses (Fig. 2);
+* :class:`~repro.core.sparsify.Sparsification` — the space-efficient
+  sparsifier via Gomory–Hu + k-RECOVERY (Fig. 3);
+* :class:`~repro.core.weighted.WeightedSparsification` — weighted
+  graphs by dyadic weight classes (Section 3.5);
+* :class:`~repro.core.subgraph_count.SubgraphSketch` — induced-subgraph
+  frequencies γ_H (Section 4);
+* :class:`~repro.core.spanner_bs.BaswanaSenSpanner` and
+  :class:`~repro.core.spanner_recurse.RecurseConnectSpanner` — adaptive
+  spanner constructions (Section 5).
+
+Substrates — ℓ₀ samplers, k-sparse recovery, hashing (including Nisan's
+PRG for the Section 3.4 derandomisation), the dynamic-stream model, and
+exact graph algorithms used for post-processing and verification — live
+in :mod:`repro.sketch`, :mod:`repro.hashing`, :mod:`repro.streams` and
+:mod:`repro.graphs`.  See DESIGN.md for the full inventory and
+EXPERIMENTS.md for the claim-by-claim reproduction record.
+"""
+
+from .core import (
+    BaswanaSenSpanner,
+    MinCutSketch,
+    RecurseConnectSpanner,
+    SimpleSparsification,
+    Sparsification,
+    SpanningForestSketch,
+    SubgraphSketch,
+    WeightedSparsification,
+)
+from .hashing import HashSource
+from .streams import DynamicGraphStream, EdgeUpdate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaswanaSenSpanner",
+    "DynamicGraphStream",
+    "EdgeUpdate",
+    "HashSource",
+    "MinCutSketch",
+    "RecurseConnectSpanner",
+    "SimpleSparsification",
+    "Sparsification",
+    "SpanningForestSketch",
+    "SubgraphSketch",
+    "WeightedSparsification",
+    "__version__",
+]

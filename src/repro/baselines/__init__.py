@@ -1,0 +1,21 @@
+"""Baselines: the algorithms the paper builds on or compares against."""
+
+from .baswana_sen import baswana_sen_offline
+from .buriol import BuriolTriangleEstimator, TriangleEstimate
+from .exact import exact_gamma, exact_min_cut, exact_triangles, graph_from_stream
+from .fung import fung_sample_probabilities, fung_sparsify
+from .karger import karger_sample_probability, karger_sparsify
+
+__all__ = [
+    "BuriolTriangleEstimator",
+    "TriangleEstimate",
+    "baswana_sen_offline",
+    "exact_gamma",
+    "exact_min_cut",
+    "exact_triangles",
+    "fung_sample_probabilities",
+    "fung_sparsify",
+    "graph_from_stream",
+    "karger_sample_probability",
+    "karger_sparsify",
+]

@@ -1,0 +1,76 @@
+"""Offline Baswana–Sen spanner [7] — the non-streaming reference.
+
+The randomised ``(2k-1)``-spanner construction the Section 5 sketch
+emulates, run directly on an in-memory graph with full adjacency
+access.  Comparing its output size and measured stretch against the
+sketch emulation (E6) isolates what the linear-measurement restriction
+costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs import Graph
+
+__all__ = ["baswana_sen_offline"]
+
+
+def baswana_sen_offline(graph: Graph, k: int, seed: int = 0) -> Graph:
+    """Classic two-phase Baswana–Sen on an in-memory graph.
+
+    Phase 1 runs ``k - 1`` rounds of cluster sampling at rate
+    ``n^{-1/k}``; phase 2 connects every surviving vertex to each
+    adjacent final cluster.  Output is a ``(2k-1)``-spanner w.h.p.
+    """
+    if k < 2:
+        raise ValueError(f"stretch parameter k must be >= 2, got {k}")
+    n = graph.n
+    rng = np.random.default_rng(seed)
+    spanner = Graph(n)
+    # root[v]: cluster root, None = finished.
+    root: list[int | None] = list(range(n))
+    sampled = set(range(n))
+
+    for _phase in range(1, k):
+        prob = n ** (-1.0 / k)
+        sampled = {r for r in sampled if rng.random() < prob}
+        new_root: list[int | None] = list(root)
+        for u in range(n):
+            r = root[u]
+            if r is None or r in sampled:
+                continue
+            # Try to join an adjacent sampled cluster.
+            join_edge: tuple[int, int] | None = None
+            for x in graph.neighbors(u):
+                rx = root[x]
+                if rx is not None and rx in sampled:
+                    join_edge = (u, x)
+                    break
+            if join_edge is not None:
+                spanner.add_edge(*join_edge, 1.0)
+                new_root[u] = root[join_edge[1]]
+                continue
+            # Finish: one edge per adjacent cluster.
+            seen_clusters: set[int] = set()
+            for x in graph.neighbors(u):
+                rx = root[x]
+                if rx is None or rx in seen_clusters:
+                    continue
+                seen_clusters.add(rx)
+                spanner.add_edge(u, x, 1.0)
+            new_root[u] = None
+        root = new_root
+
+    # Clean-up: connect every survivor to each adjacent final cluster.
+    for u in range(n):
+        if root[u] is None:
+            continue
+        seen_clusters = set()
+        for x in graph.neighbors(u):
+            rx = root[x]
+            if rx is None or rx == root[u] or rx in seen_clusters:
+                continue
+            seen_clusters.add(rx)
+            spanner.add_edge(u, x, 1.0)
+    return spanner

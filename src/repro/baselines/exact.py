@@ -1,0 +1,46 @@
+"""Exact reference computations, packaged for the experiment harness.
+
+Thin wrappers with experiment-friendly signatures around
+:mod:`repro.graphs`; every benchmark reports its sketch output next to
+one of these ground truths.
+"""
+
+from __future__ import annotations
+
+from ..core.patterns import Pattern, encoding_class
+from ..graphs import (
+    Graph,
+    gamma_exact,
+    global_min_cut_value,
+    triangle_count,
+)
+from ..streams import DynamicGraphStream
+
+__all__ = [
+    "graph_from_stream",
+    "exact_min_cut",
+    "exact_gamma",
+    "exact_triangles",
+]
+
+
+def graph_from_stream(stream: DynamicGraphStream) -> Graph:
+    """Materialise the final multigraph of a dynamic stream."""
+    return Graph.from_multiplicities(stream.n, stream.multiplicities())
+
+
+def exact_min_cut(stream: DynamicGraphStream) -> float:
+    """Exact ``λ(G)`` of a stream's final graph."""
+    return global_min_cut_value(graph_from_stream(stream))
+
+
+def exact_gamma(stream: DynamicGraphStream, pattern: Pattern) -> float:
+    """Exact ``γ_H`` of a stream's final graph."""
+    return gamma_exact(
+        graph_from_stream(stream), encoding_class(pattern), pattern.order
+    )
+
+
+def exact_triangles(stream: DynamicGraphStream) -> int:
+    """Exact triangle count of a stream's final graph."""
+    return triangle_count(graph_from_stream(stream))

@@ -1,0 +1,58 @@
+"""Fung et al. connectivity-based sampling — Theorem 3.1 (offline baseline).
+
+Sample each edge ``e = (u, v)`` independently with probability
+``p_e >= min(253 λ_e^{-1} ε^{-2} log² n, 1)`` — ``λ_e`` the minimum u-v
+cut value — and weight kept edges by ``1/p_e``: the result is an
+ε-sparsifier w.h.p.  This is the exact sampling scheme
+SIMPLE-SPARSIFICATION emulates with consistent (non-independent)
+hashing and witness-estimated connectivities; comparing the two in E2
+isolates the cost of that emulation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.sparsifier import Sparsifier
+from ..graphs import Graph, MaxFlow
+
+__all__ = ["fung_sample_probabilities", "fung_sparsify"]
+
+
+def fung_sample_probabilities(
+    graph: Graph, epsilon: float, c: float = 253.0
+) -> dict[tuple[int, int], float]:
+    """Per-edge probabilities ``min(c log² n / (λ_e ε²), 1)``.
+
+    Exact ``λ_e`` by one max-flow per edge (the offline luxury the
+    streaming algorithm does not have).
+    """
+    if not 0 < epsilon <= 1:
+        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    log2n = math.log2(max(graph.n, 2))
+    flow = MaxFlow(graph)
+    probs: dict[tuple[int, int], float] = {}
+    for u, v in graph.edges():
+        lam = flow.max_flow(u, v)
+        if lam <= 0:
+            probs[(u, v)] = 1.0
+        else:
+            probs[(u, v)] = min(c * log2n * log2n / (lam * epsilon**2), 1.0)
+    return probs
+
+
+def fung_sparsify(
+    graph: Graph, epsilon: float, c: float = 253.0, seed: int = 0
+) -> Sparsifier:
+    """Independent connectivity-based sampling with ``1/p_e`` weights."""
+    probs = fung_sample_probabilities(graph, epsilon, c)
+    rng = np.random.default_rng(seed)
+    out = Graph(graph.n)
+    levels: dict[tuple[int, int], int] = {}
+    for (u, v), p in probs.items():
+        if rng.random() < p:
+            out.add_edge(u, v, graph.weight(u, v) / p)
+            levels[(u, v)] = max(0, int(round(-math.log2(max(p, 1e-12)))))
+    return Sparsifier(graph=out, epsilon=epsilon, edge_levels=levels, memory_cells=0)

@@ -1,0 +1,48 @@
+"""Karger uniform-sampling sparsifier — Lemma 3.1 (offline baseline).
+
+Sample every edge independently with probability
+``p >= 6 λ^{-1} ε^{-2} log n`` (λ = global minimum cut) and weight kept
+edges by ``1/p``: the result ε-approximates every cut w.h.p.  This is
+the sampling lemma MINCUT's analysis leans on; as an *offline* baseline
+it lets experiment E1/E2 separate "does subsampling preserve cuts at
+this scale" from "does the sketch machinery implement the subsampling".
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..graphs import Graph, global_min_cut_value
+from ..core.sparsifier import Sparsifier
+
+__all__ = ["karger_sample_probability", "karger_sparsify"]
+
+
+def karger_sample_probability(
+    graph: Graph, epsilon: float, c: float = 6.0
+) -> float:
+    """The Lemma 3.1 uniform sampling probability ``min(c·log n/(λ ε²), 1)``."""
+    if not 0 < epsilon <= 1:
+        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    lam = global_min_cut_value(graph)
+    if lam <= 0:
+        return 1.0
+    p = c * math.log(max(graph.n, 2)) / (lam * epsilon**2)
+    return min(p, 1.0)
+
+
+def karger_sparsify(
+    graph: Graph, epsilon: float, c: float = 6.0, seed: int = 0
+) -> Sparsifier:
+    """Uniformly sample edges at the Lemma 3.1 rate; weight by ``1/p``."""
+    p = karger_sample_probability(graph, epsilon, c)
+    rng = np.random.default_rng(seed)
+    out = Graph(graph.n)
+    levels: dict[tuple[int, int], int] = {}
+    for u, v, w in graph.weighted_edges():
+        if rng.random() < p:
+            out.add_edge(u, v, w / p)
+            levels[(u, v)] = 0
+    return Sparsifier(graph=out, epsilon=epsilon, edge_levels=levels, memory_cells=0)

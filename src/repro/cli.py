@@ -1,0 +1,124 @@
+"""Command-line interface: ``python -m repro.cli`` / ``repro-graph-sketches``.
+
+Sub-commands:
+
+* ``list`` — show the experiment registry and workloads;
+* ``run <id> [--full] [--seed N]`` — run one experiment (e1–e10) and
+  print its table (``all`` runs every experiment);
+* ``demo`` — a 30-second end-to-end tour: build a churny stream,
+  sketch it, report min cut, sparsifier quality, triangle frequency,
+  and a spanner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from .eval import EXPERIMENTS, WORKLOADS
+
+    print("experiments:")
+    for exp_id, (desc, _fn) in sorted(EXPERIMENTS.items()):
+        print(f"  {exp_id}: {desc}")
+    print("workloads:")
+    for name in sorted(WORKLOADS):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .eval import EXPERIMENTS, run_experiment
+
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for exp_id in ids:
+        t0 = time.perf_counter()
+        table = run_experiment(exp_id, quick=not args.full, seed=args.seed)
+        dt = time.perf_counter() - t0
+        print(table.render())
+        print(f"\n[{exp_id} completed in {dt:.1f}s]\n")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .core import (
+        TRIANGLE,
+        BaswanaSenSpanner,
+        MinCutSketch,
+        SimpleSparsification,
+        SubgraphSketch,
+        cut_approximation_report,
+        encoding_class,
+    )
+    from .graphs import Graph, gamma_exact, global_min_cut_value, measure_stretch
+    from .hashing import HashSource
+    from .streams import churn_stream, planted_partition_graph
+
+    seed = args.seed
+    n = 36
+    edges = planted_partition_graph(n, 0.6, 0.12, seed=seed)
+    graph = Graph.from_edges(n, edges)
+    stream = churn_stream(n, edges, seed=seed + 1)
+    print(f"workload: planted partition, n={n}, m={graph.num_edges()}, "
+          f"{len(stream)} stream tokens (with deletions)")
+
+    mc = MinCutSketch(n, epsilon=0.5, source=HashSource(seed + 2)).consume(stream)
+    res = mc.estimate()
+    print(f"min cut: sketch={res.value} exact={global_min_cut_value(graph)} "
+          f"(stop level {res.stop_level})")
+
+    sp = SimpleSparsification(
+        n, epsilon=0.5, source=HashSource(seed + 3), c_k=0.3
+    ).consume(stream)
+    s = sp.sparsifier()
+    rep = cut_approximation_report(graph, s, sample_cuts=200, seed=seed)
+    print(f"sparsifier: {s.num_edges}/{graph.num_edges()} edges, "
+          f"max cut error {rep.max_relative_error:.3f}")
+
+    sub = SubgraphSketch(
+        n, order=3, samplers=96, source=HashSource(seed + 4)
+    ).consume(stream)
+    est = sub.estimate(TRIANGLE)
+    print(f"triangles: γ sketch={est.gamma:.4f} "
+          f"exact={gamma_exact(graph, encoding_class(TRIANGLE), 3):.4f}")
+
+    span = BaswanaSenSpanner(n, k=2, source=HashSource(seed + 5)).build(stream)
+    sr = measure_stretch(graph, span.spanner)
+    print(f"spanner (k=2): {span.edges} edges, max stretch {sr.max_stretch} "
+          f"(bound 3), batches {span.batches}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-graph-sketches",
+        description="Graph sketches (Ahn-Guha-McGregor, PODS 2012) — "
+        "experiments and demos.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list experiments and workloads")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run an experiment (e1..e10 or 'all')")
+    p_run.add_argument("experiment", help="experiment id, e.g. e5, or 'all'")
+    p_run.add_argument("--full", action="store_true",
+                       help="full parameter sweep (slower)")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_demo = sub.add_parser("demo", help="30-second end-to-end tour")
+    p_demo.add_argument("--seed", type=int, default=0)
+    p_demo.set_defaults(func=_cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

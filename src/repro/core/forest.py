@@ -1,0 +1,183 @@
+"""AGM spanning-forest / connectivity sketch.
+
+The substrate the paper imports from the authors' companion SODA'12
+work [4] (cited as the source of Theorem 2.3): a linear sketch from
+which a spanning forest of the graph can be extracted.
+
+Construction.  Keep ``rounds = O(log n)`` independent families of ℓ₀
+samplers, one sampler per node per family, each sketching that node's
+signed incidence vector ``x^u`` (see :mod:`repro.core.incidence`).
+Extraction runs Borůvka: starting from singleton components, each round
+``t`` sums the *round-t* sketches of every component's member nodes —
+by linearity this is a sketch of ``Σ_{u∈C} x^u``, whose support is
+exactly the edges leaving ``C`` — samples one outgoing edge per
+component, and merges.  Components halve per round w.h.p., so
+``O(log n)`` rounds suffice; using a fresh sampler family per round
+keeps the samples independent of the (adaptively chosen) components.
+
+The class is a *linear* sketch: updates may insert and delete edges in
+any order, and identically-seeded sketches can be merged (distributed
+streams, Section 1.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SamplerFailed
+from ..graphs import UnionFind
+from ..hashing import HashSource
+from ..sketch import L0SamplerBank
+from ..streams import DynamicGraphStream, EdgeUpdate
+from ..util import ceil_log2, pair_unrank
+from .incidence import edge_domain
+
+__all__ = ["SpanningForestSketch"]
+
+
+class SpanningForestSketch:
+    """Linear sketch supporting spanning-forest extraction.
+
+    Parameters
+    ----------
+    n:
+        Node universe size.
+    source:
+        Seed source (determines every hash function).
+    rounds:
+        Borůvka rounds / independent sampler families.  Defaults to
+        ``ceil(log2 n) + 2`` which suffices w.h.p.; raise it to push
+        the failure probability down.
+    rows, buckets:
+        ℓ₀-sampler grid dimensions (see :class:`~repro.sketch.l0.
+        L0SamplerBank`).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        source: HashSource,
+        rounds: int | None = None,
+        rows: int = 2,
+        buckets: int = 4,
+    ):
+        if n < 2:
+            raise ValueError(f"need at least two nodes, got {n}")
+        self.n = n
+        self.rounds = rounds if rounds is not None else ceil_log2(n) + 2
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be positive, got {self.rounds}")
+        self.bank = L0SamplerBank(
+            families=self.rounds,
+            samplers=n,
+            domain=edge_domain(n),
+            source=source,
+            rows=rows,
+            buckets=buckets,
+        )
+        self._round_ids = np.arange(self.rounds, dtype=np.int64)
+
+    # -- stream side -----------------------------------------------------------
+
+    def update(self, update: EdgeUpdate) -> None:
+        """Apply one edge update to every family of the sketch."""
+        self.update_edges(
+            np.array([update.lo], dtype=np.int64),
+            np.array([update.hi], dtype=np.int64),
+            np.array([update.delta], dtype=np.int64),
+        )
+
+    def update_edges(
+        self, lo: np.ndarray, hi: np.ndarray, deltas: np.ndarray
+    ) -> None:
+        """Vectorised bulk update of canonical edges ``(lo < hi)``.
+
+        Expands each edge into ``2 * rounds`` sampler rows (two signed
+        endpoints × every family) in one scatter.
+        """
+        lo = np.asarray(lo, dtype=np.int64)
+        hi = np.asarray(hi, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        if lo.size == 0:
+            return
+        items = lo * self.n - lo * (lo + 1) // 2 + (hi - lo - 1)
+        m = lo.size
+        t = self.rounds
+        fams = np.tile(np.repeat(self._round_ids, 2), m)
+        # Order per edge: (round0:lo, round0:hi, round1:lo, round1:hi, ...).
+        samplers = np.stack([lo, hi], axis=1)[:, None, :].repeat(t, axis=1).reshape(-1)
+        rep_items = np.repeat(items, 2 * t)
+        rep_deltas = np.tile(np.stack([deltas, -deltas], axis=1), (1, t)).reshape(-1)
+        self.bank.update(fams, samplers, rep_items, rep_deltas)
+
+    def consume(self, stream: DynamicGraphStream) -> "SpanningForestSketch":
+        """Feed an entire stream (single pass); returns self for chaining."""
+        if stream.n != self.n:
+            raise ValueError("stream and sketch node universes differ")
+        lo = np.fromiter((u.lo for u in stream), dtype=np.int64, count=len(stream))
+        hi = np.fromiter((u.hi for u in stream), dtype=np.int64, count=len(stream))
+        dl = np.fromiter((u.delta for u in stream), dtype=np.int64, count=len(stream))
+        # Feed in chunks to bound peak memory of the level expansion.
+        chunk = 65536
+        for start in range(0, lo.size, chunk):
+            self.update_edges(
+                lo[start : start + chunk],
+                hi[start : start + chunk],
+                dl[start : start + chunk],
+            )
+        return self
+
+    def merge(self, other: "SpanningForestSketch") -> None:
+        """Merge an identically-seeded sketch (distributed streams)."""
+        if other.n != self.n or other.rounds != self.rounds:
+            raise ValueError("can only merge identically-configured sketches")
+        self.bank.merge(other.bank)
+
+    # -- extraction -------------------------------------------------------------
+
+    def spanning_forest(self) -> list[tuple[int, int, int]]:
+        """Extract a spanning forest as ``(u, v, multiplicity)`` triples.
+
+        Borůvka over the sketch; each returned edge is certified by the
+        1-sparse fingerprints, so returned edges are real graph edges
+        w.h.p.  If the sampler budget runs out before components stop
+        shrinking the forest may be partial (more components than the
+        true graph has); callers needing certainty can retry with more
+        ``rounds`` or a different seed.
+        """
+        uf = UnionFind(self.n)
+        forest: list[tuple[int, int, int]] = []
+        for t in range(self.rounds):
+            components = uf.groups()
+            if len(components) == 1:
+                break
+            merged_any = False
+            for root, members in components.items():
+                try:
+                    item, value = self.bank.sample_sum(t, members)
+                except SamplerFailed:
+                    continue
+                a, b = pair_unrank(item, self.n)
+                if uf.union(a, b):
+                    forest.append((a, b, abs(value)))
+                    merged_any = True
+            if not merged_any and t > 0:
+                # No component found an outgoing edge in a full round;
+                # remaining components are isolated w.h.p.
+                break
+        return forest
+
+    def connected_components(self) -> list[set[int]]:
+        """Connected components implied by the extracted forest."""
+        uf = UnionFind(self.n)
+        for u, v, _ in self.spanning_forest():
+            uf.union(u, v)
+        return [set(members) for members in uf.groups().values()]
+
+    def is_connected(self) -> bool:
+        """Whether the sketched graph is connected (w.h.p. correct)."""
+        return len(self.connected_components()) == 1
+
+    def memory_cells(self) -> int:
+        """Total 1-sparse cells held (space accounting for experiments)."""
+        return self.bank.memory_cells()

@@ -1,0 +1,72 @@
+"""Signed node–edge incidence encoding (Eq. 1 of the paper).
+
+Every node ``u`` is associated with the vector
+``x^u ∈ {-A(e), 0, +A(e)}^{C(n,2)}``:
+
+    x^u[(v, w)] = +A(v, w)   if u = v   (u is the smaller endpoint)
+    x^u[(v, w)] = -A(v, w)   if u = w   (u is the larger endpoint)
+    x^u[(v, w)] = 0          otherwise
+
+The crucial cancellation property: for any node set ``A``,
+
+    support(Σ_{u∈A} x^u)  =  E(A, V \\ A)
+
+— edges inside ``A`` appear once with ``+`` and once with ``-`` and
+vanish, edges crossing the cut survive with a sign telling which
+endpoint lies inside ``A`` and magnitude equal to the edge multiplicity.
+The AGM spanning-forest sketch, ``k-EDGECONNECT``, and the k-RECOVERY
+step 4(c) of SPARSIFICATION all ride on this identity.
+
+This module centralises the *update rule*: given an edge update
+``(u, v, Δ)`` it emits the (sampler, item, delta) rows to feed into a
+sketch bank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..streams import EdgeUpdate
+from ..util import pair_count, pair_rank, pair_unrank
+
+__all__ = [
+    "edge_domain",
+    "incidence_rows",
+    "decode_incidence_sample",
+]
+
+
+def edge_domain(n: int) -> int:
+    """Dimension ``C(n, 2)`` of the edge-indexed vectors."""
+    return pair_count(n)
+
+
+def incidence_rows(
+    update: EdgeUpdate, n: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The two signed rows an edge update contributes.
+
+    Returns parallel arrays ``(nodes, items, deltas)`` of length 2:
+    the smaller endpoint receives ``+delta`` and the larger ``-delta``
+    at the edge's pair rank.
+    """
+    lo, hi = update.lo, update.hi
+    e = pair_rank(lo, hi, n)
+    nodes = np.array([lo, hi], dtype=np.int64)
+    items = np.array([e, e], dtype=np.int64)
+    deltas = np.array([update.delta, -update.delta], dtype=np.int64)
+    return nodes, items, deltas
+
+
+def decode_incidence_sample(item: int, value: int, n: int) -> tuple[int, int, int]:
+    """Decode an ℓ₀ sample of a summed incidence vector.
+
+    Returns ``(inside, outside, multiplicity)``: the endpoint on the
+    sampled side (positive sign ⇒ the smaller endpoint is inside the
+    summed node set), the endpoint outside, and the edge multiplicity
+    ``|value|``.
+    """
+    lo, hi = pair_unrank(item, n)
+    if value > 0:
+        return lo, hi, value
+    return hi, lo, -value

@@ -1,0 +1,135 @@
+"""Pattern graphs and their isomorphism-closed encoding classes ``A_H``.
+
+Section 4 reduces counting induced order-k subgraphs isomorphic to a
+pattern ``H`` to membership of squash-encoded column values in a set
+``A_H``: the encodings of *every* graph on ``k`` labelled vertices that
+is isomorphic to ``H``.  For ``k <= 5`` the class is computed by brute
+force over vertex permutations (at most ``2^10`` encodings × ``5!``
+permutations), once per pattern, and cached.
+
+The bitmask encoding matches :func:`repro.graphs.subgraphs.
+induced_edge_pattern` and :mod:`repro.sketch.squash`: bit ``r`` is the
+``r``-th vertex pair of the sorted k-subset in lexicographic order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..errors import NotSupportedError
+from ..util import comb
+
+__all__ = [
+    "Pattern",
+    "encoding_class",
+    "TRIANGLE",
+    "PATH_3",
+    "SINGLE_EDGE_3",
+    "EMPTY_3",
+    "CLIQUE_4",
+    "CYCLE_4",
+    "PATH_4",
+    "STAR_4",
+    "named_patterns",
+]
+
+#: Largest supported pattern order (encoding enumeration is 2^C(k,2) · k!).
+MAX_PATTERN_ORDER = 5
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """An unlabelled pattern graph on ``k`` vertices.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier used in reports.
+    order:
+        Number of vertices ``k``.
+    edges:
+        Canonical labelled edge set on vertices ``0..k-1``; any one
+        labelling works since the encoding class closes over
+        isomorphism.
+    """
+
+    name: str
+    order: int
+    edges: frozenset[tuple[int, int]]
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.order <= MAX_PATTERN_ORDER:
+            raise NotSupportedError(
+                f"patterns supported for order 2..{MAX_PATTERN_ORDER}, "
+                f"got {self.order}"
+            )
+        for u, v in self.edges:
+            if not (0 <= u < v < self.order):
+                raise ValueError(f"pattern edge ({u}, {v}) is not canonical")
+
+    def encoding(self, perm: tuple[int, ...]) -> int:
+        """Bitmask of this pattern under a vertex relabelling ``perm``."""
+        mask = 0
+        bit = 0
+        for i in range(self.order):
+            for j in range(i + 1, self.order):
+                a, b = perm[i], perm[j]
+                if (min(a, b), max(a, b)) in self.edges:
+                    mask |= 1 << bit
+                bit += 1
+        return mask
+
+
+@lru_cache(maxsize=None)
+def encoding_class(pattern: Pattern) -> frozenset[int]:
+    """The set ``A_H`` of all encodings isomorphic to the pattern.
+
+    A squash-recovered column value ``v`` corresponds to an induced
+    subgraph isomorphic to ``H`` iff ``v ∈ encoding_class(H)``.
+    """
+    masks = {
+        pattern.encoding(perm)
+        for perm in itertools.permutations(range(pattern.order))
+    }
+    return frozenset(masks)
+
+
+def _pat(name: str, order: int, edges: list[tuple[int, int]]) -> Pattern:
+    return Pattern(name=name, order=order, edges=frozenset(edges))
+
+
+#: The triangle — the paper's headline special case (matches Buriol et al.).
+TRIANGLE = _pat("triangle", 3, [(0, 1), (0, 2), (1, 2)])
+#: Induced path on three vertices (a "wedge" as an induced subgraph).
+PATH_3 = _pat("path3", 3, [(0, 1), (1, 2)])
+#: Exactly one edge plus an isolated vertex.
+SINGLE_EDGE_3 = _pat("single-edge3", 3, [(0, 1)])
+#: The empty graph on three vertices (excluded from γ_H's denominator).
+EMPTY_3 = _pat("empty3", 3, [])
+#: The 4-clique.
+CLIQUE_4 = _pat("clique4", 4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+#: The 4-cycle (induced).
+CYCLE_4 = _pat("cycle4", 4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+#: Induced path on four vertices.
+PATH_4 = _pat("path4", 4, [(0, 1), (1, 2), (2, 3)])
+#: The star K_{1,3} ("claw").
+STAR_4 = _pat("star4", 4, [(0, 1), (0, 2), (0, 3)])
+
+
+def named_patterns() -> dict[str, Pattern]:
+    """Registry of the built-in patterns, keyed by name."""
+    return {
+        p.name: p
+        for p in (
+            TRIANGLE,
+            PATH_3,
+            SINGLE_EDGE_3,
+            EMPTY_3,
+            CLIQUE_4,
+            CYCLE_4,
+            PATH_4,
+            STAR_4,
+        )
+    }

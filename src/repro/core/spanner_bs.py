@@ -1,0 +1,249 @@
+"""k-adaptive Baswana–Sen emulation — Section 5 (first construction).
+
+A ``(2k-1)``-spanner from ``k`` batches of linear measurements, with
+``Õ(n^{1+1/k})`` measurements — the optimal stretch/space trade-off,
+paying ``k`` adaptivity rounds (``k`` passes in a stream deployment).
+
+Phases follow the paper's outline:
+
+* **Growing trees** (batches ``1..k-1``).  Before batch ``i`` the root
+  set ``S_i`` is subsampled from ``S_{i-1}`` with probability
+  ``n^{-1/k}`` (consistent hashing — no data needed).  During the batch
+  two sketches are filled for every live vertex ``u``: an ℓ₀ sampler
+  restricted to edges into *sampled* trees, and a
+  :class:`~repro.core.spanner_common.NeighborhoodSketch` bucketing the
+  other endpoint's tree.  Afterwards each live vertex whose tree root
+  was not re-sampled either **joins** an adjacent sampled tree (adding
+  the witness edge) or — if none was found — **finishes**, adding one
+  witness edge per adjacent tree (the paper's ``L(u)``).
+* **Final clean-up** (batch ``k``).  Every vertex still in a tree adds
+  one witness edge to every adjacent ``T_{k-1}`` tree.
+
+The output spanner has ``O(k n^{1+1/k})`` edges in expectation and
+stretch ``2k - 1`` w.h.p. (bucket collisions can miss a cluster with
+small probability; the ``c_buckets`` knob trades space for that
+probability — experiment E6 sweeps it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SamplerFailed
+from ..graphs import Graph
+from ..hashing import HashSource
+from ..sketch import L0SamplerBank
+from ..streams import DynamicGraphStream
+from ..util import pair_count, pair_unrank
+from .spanner_common import ClusterState, NeighborhoodSketch
+
+__all__ = ["BaswanaSenSpanner", "SpannerBuildReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpannerBuildReport:
+    """Construction statistics of an adaptive spanner build.
+
+    ``batches`` is the adaptivity ``r`` of the scheme (equals the number
+    of stream passes a streaming deployment would use).
+    """
+
+    spanner: Graph
+    batches: int
+    stretch_bound: float
+    memory_cells: int
+    edges: int
+
+
+class BaswanaSenSpanner:
+    """(2k-1)-spanner from k adaptive batches of sketches.
+
+    Parameters
+    ----------
+    n:
+        Node universe size.
+    k:
+        Stretch parameter; stretch bound is ``2k - 1``.
+    source:
+        Seed source.
+    c_buckets:
+        Scale for the per-vertex cluster-bucket budget
+        (``buckets = c_buckets · n^{1/k} · log2 n``).
+    sample_copies:
+        Independent ℓ₀ samplers per vertex for the join-an-adjacent-
+        sampled-tree step (retries against sampler failure).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        source: HashSource | None = None,
+        c_buckets: float = 2.0,
+        sample_copies: int = 3,
+    ):
+        if k < 2:
+            raise ValueError(f"stretch parameter k must be >= 2, got {k}")
+        if source is None:
+            source = HashSource(0xB5)
+        self.n = n
+        self.k = k
+        self.source = source
+        self.sample_prob = n ** (-1.0 / k)
+        self.buckets = max(
+            2, int(math.ceil(c_buckets * n ** (1.0 / k) * math.log2(max(n, 2))))
+        )
+        self.sample_copies = sample_copies
+        self._memory_cells = 0
+        self._batches = 0
+
+    # -- batch drivers -----------------------------------------------------------
+
+    def build(self, stream: DynamicGraphStream) -> SpannerBuildReport:
+        """Run all ``k`` adaptive batches over the (replayable) stream."""
+        if stream.n != self.n:
+            raise ValueError("stream and spanner node universes differ")
+        self._memory_cells = 0
+        self._batches = 0
+        spanner = Graph(self.n)
+        state = ClusterState(self.n)
+        sampled: set[int] = set(range(self.n))  # S_0 = V
+
+        for phase in range(1, self.k):
+            sampled = self._subsample_roots(sampled, phase)
+            self._run_growth_batch(stream, state, sampled, spanner, phase)
+
+        self._run_cleanup_batch(stream, state, spanner)
+        return SpannerBuildReport(
+            spanner=spanner,
+            batches=self._batches,
+            stretch_bound=2 * self.k - 1,
+            memory_cells=self._memory_cells,
+            edges=spanner.num_edges(),
+        )
+
+    def _subsample_roots(self, previous: set[int], phase: int) -> set[int]:
+        """Consistent subsample ``S_i ⊆ S_{i-1}`` at rate ``n^{-1/k}``."""
+        coin = self.source.derive(0x5A, phase)
+        return {r for r in previous if bool(coin.bernoulli(r, self.sample_prob))}
+
+    def _run_growth_batch(
+        self,
+        stream: DynamicGraphStream,
+        state: ClusterState,
+        sampled: set[int],
+        spanner: Graph,
+        phase: int,
+    ) -> None:
+        """One tree-growing phase: fill sketches, then join or finish."""
+        self._batches += 1
+        batch_source = self.source.derive(0xB1, phase)
+
+        # Sketch 1: per-vertex ℓ₀ samplers over edges into sampled trees.
+        join_bank = L0SamplerBank(
+            families=self.sample_copies,
+            samplers=self.n,
+            domain=pair_count(self.n),
+            source=batch_source.derive(1),
+            rows=2,
+            buckets=4,
+        )
+        # Sketch 2: bucketed per-adjacent-tree witnesses.
+        hood = NeighborhoodSketch(self.n, self.buckets, batch_source.derive(2))
+
+        self._fill_growth_sketches(stream, state, sampled, join_bank)
+        hood.consume(stream, state)
+        self._memory_cells += join_bank.memory_cells() + hood.memory_cells()
+
+        # Post-processing: decide every live vertex whose root died.
+        for u in range(self.n):
+            root = state.root[u]
+            if root is None or root in sampled:
+                continue
+            joined = self._try_join(u, join_bank, state, sampled, spanner)
+            if joined:
+                continue
+            # No adjacent sampled tree found: record one edge per
+            # adjacent tree and finish u.
+            for _root, (a, x) in hood.edges_per_cluster(u, state).items():
+                spanner.add_edge(a, x, 1.0)
+            state.finish(u)
+
+    def _fill_growth_sketches(
+        self,
+        stream: DynamicGraphStream,
+        state: ClusterState,
+        sampled: set[int],
+        join_bank: L0SamplerBank,
+    ) -> None:
+        """Replay the stream into the join samplers (restricted routing)."""
+        samplers: list[int] = []
+        items: list[int] = []
+        deltas: list[int] = []
+        for upd in stream:
+            lo, hi, delta = upd.lo, upd.hi, upd.delta
+            item = lo * self.n - lo * (lo + 1) // 2 + (hi - lo - 1)
+            for u, x in ((lo, hi), (hi, lo)):
+                if not state.alive(u):
+                    continue
+                rx = state.root[x]
+                if rx is None or rx not in sampled:
+                    continue
+                samplers.append(u)
+                items.append(item)
+                deltas.append(delta)
+        if not samplers:
+            return
+        count = len(samplers)
+        for copy in range(self.sample_copies):
+            join_bank.update(
+                np.full(count, copy, dtype=np.int64),
+                np.asarray(samplers, dtype=np.int64),
+                np.asarray(items, dtype=np.int64),
+                np.asarray(deltas, dtype=np.int64),
+            )
+
+    def _try_join(
+        self,
+        u: int,
+        join_bank: L0SamplerBank,
+        state: ClusterState,
+        sampled: set[int],
+        spanner: Graph,
+    ) -> bool:
+        """Attach ``u`` to an adjacent sampled tree if a sampler finds one."""
+        for copy in range(self.sample_copies):
+            try:
+                item, _value = join_bank.sample(copy, u)
+            except SamplerFailed:
+                continue
+            a, b = pair_unrank(item, self.n)
+            x = b if a == u else a
+            rx = state.root[x]
+            if rx is None or rx not in sampled:
+                continue  # stale decode; try another copy
+            spanner.add_edge(u, x, 1.0)
+            state.root[u] = rx
+            return True
+        return False
+
+    def _run_cleanup_batch(
+        self, stream: DynamicGraphStream, state: ClusterState, spanner: Graph
+    ) -> None:
+        """Final batch: one witness edge per adjacent surviving tree."""
+        self._batches += 1
+        hood = NeighborhoodSketch(
+            self.n, self.buckets, self.source.derive(0xB1, self.k, 0xF)
+        )
+        hood.consume(stream, state)
+        self._memory_cells += hood.memory_cells()
+        for u in range(self.n):
+            if not state.alive(u):
+                continue
+            for root, (a, x) in hood.edges_per_cluster(u, state).items():
+                if root == state.root[u]:
+                    continue  # intra-tree edges are covered by tree edges
+                spanner.add_edge(a, x, 1.0)

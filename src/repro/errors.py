@@ -1,0 +1,73 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific failures derive from :class:`ReproError` so callers
+can catch everything coming out of this package with a single handler.
+Sketch-level *expected* failures (an ℓ₀ sampler returning FAIL, a sparse
+recovery on a vector with too many non-zeros) are modelled as exceptions
+deriving from :class:`SketchFailure`; they correspond to the explicit
+FAIL outcomes in the paper (Theorems 2.1 and 2.2) rather than bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class StreamError(ReproError):
+    """An ill-formed dynamic graph stream.
+
+    Raised for self-loops, endpoints outside ``[0, n)``, zero deltas, or
+    streams that drive an edge multiplicity negative (the model in
+    Definition 1 of the paper requires non-negative multiplicities).
+    """
+
+
+class GraphError(ReproError):
+    """An ill-formed graph or an invalid graph-algorithm request."""
+
+
+class SketchFailure(ReproError):
+    """Base class for *expected*, probabilistic sketch failures.
+
+    The paper's primitives are allowed to fail with small probability
+    (``δ``).  Such failures raise subclasses of this exception so callers
+    can distinguish "retry with another seed / more space" from
+    programming errors.
+    """
+
+
+class SamplerFailed(SketchFailure):
+    """An ℓ₀ sampler could not produce a sample (the FAIL outcome).
+
+    Corresponds to the FAIL event in Theorem 2.1.  Either the sketched
+    vector is identically zero or every recovery cell was polluted by
+    collisions.
+    """
+
+
+class RecoveryFailed(SketchFailure):
+    """k-sparse recovery could not reconstruct the vector.
+
+    Corresponds to the FAIL outcome of ``k-RECOVERY`` (Theorem 2.2):
+    either the vector has more than ``k`` non-zero entries or the peeling
+    process got stuck.
+    """
+
+
+class AdaptivityError(ReproError):
+    """An adaptive (multi-batch) sketch was driven out of order.
+
+    Adaptive sketching schemes (Definition 2) must receive their batches
+    in sequence: batch ``r`` measurements may only be constructed after
+    the outcomes of batches ``1..r-1`` are known.
+    """
+
+
+class NotSupportedError(ReproError):
+    """A request outside the implemented parameter range.
+
+    For example pattern subgraphs on more than five nodes, where the
+    generic encoding enumeration would be astronomically slow.
+    """

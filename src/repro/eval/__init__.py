@@ -1,0 +1,18 @@
+"""Experiment harness: workloads, metrics, tables, runners E1–E10."""
+
+from .experiments import EXPERIMENTS, run_experiment
+from .metrics import RunSummary, relative_error, summarize
+from .tables import Table
+from .workloads import WORKLOADS, Workload, make_workload
+
+__all__ = [
+    "EXPERIMENTS",
+    "RunSummary",
+    "Table",
+    "WORKLOADS",
+    "Workload",
+    "make_workload",
+    "relative_error",
+    "run_experiment",
+    "summarize",
+]

@@ -1,0 +1,37 @@
+"""Shared metric helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+__all__ = ["relative_error", "RunSummary", "summarize"]
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / truth``; infinity when truth is 0 but not est."""
+    if truth == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(estimate - truth) / abs(truth)
+
+
+@dataclass(frozen=True, slots=True)
+class RunSummary:
+    """Mean/max/median summary over repeated randomised runs."""
+
+    mean: float
+    median: float
+    maximum: float
+    runs: int
+
+
+def summarize(values: list[float]) -> RunSummary:
+    """Summarise repeated-run measurements."""
+    if not values:
+        raise ValueError("cannot summarise zero runs")
+    return RunSummary(
+        mean=statistics.fmean(values),
+        median=statistics.median(values),
+        maximum=max(values),
+        runs=len(values),
+    )

@@ -1,0 +1,85 @@
+"""Minimal result-table rendering for the experiment harness.
+
+Every experiment produces a :class:`Table`; benchmarks print it (the
+"same rows the paper reports" — here, the rows each theorem predicts)
+and EXPERIMENTS.md archives the rendered output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Table"]
+
+
+@dataclass
+class Table:
+    """A titled table with typed columns and formatted rendering.
+
+    Attributes
+    ----------
+    title:
+        Table caption, conventionally ``"E3: <claim summary>"``.
+    columns:
+        Column headers.
+    rows:
+        Row values; any type, formatted with :func:`_fmt`.
+    notes:
+        Free-text caveats appended under the table.
+    """
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append a row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        """Append a caveat line rendered under the table."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Render as GitHub-flavoured markdown."""
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells), 3)
+            if cells
+            else max(len(self.columns[i]), 3)
+            for i in range(len(self.columns))
+        ]
+        header = "| " + " | ".join(
+            c.ljust(w) for c, w in zip(self.columns, widths)
+        ) + " |"
+        sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+        body = [
+            "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+            for row in cells
+        ]
+        out = [f"### {self.title}", "", header, sep, *body]
+        if self.notes:
+            out.append("")
+            out.extend(f"> {note}" for note in self.notes)
+        return "\n".join(out)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,106 @@
+"""Named workloads used across the experiments.
+
+Each builder returns ``(graph, stream)``: the ground-truth final graph
+and a dynamic stream (with deletions) whose final state is that graph.
+Scales are kept laptop-sized; the structural features are chosen per
+experiment (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines import graph_from_stream
+from ..graphs import Graph
+from ..streams import (
+    DynamicGraphStream,
+    churn_stream,
+    dumbbell_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    planted_partition_graph,
+    random_weighted_edges,
+    triangle_planted_graph,
+    weighted_churn_stream,
+)
+
+__all__ = ["Workload", "make_workload", "WORKLOADS"]
+
+
+@dataclass(frozen=True, slots=True)
+class Workload:
+    """A named (graph, stream) pair with provenance."""
+
+    name: str
+    graph: Graph
+    stream: DynamicGraphStream
+
+
+def _er(n: int, p: float, seed: int) -> Workload:
+    edges = erdos_renyi_graph(n, p, seed=seed)
+    stream = churn_stream(n, edges, seed=seed + 1)
+    return Workload(f"er(n={n},p={p})", Graph.from_edges(n, edges), stream)
+
+
+def _planted(n: int, p_in: float, p_out: float, seed: int) -> Workload:
+    edges = planted_partition_graph(n, p_in, p_out, seed=seed)
+    stream = churn_stream(n, edges, seed=seed + 1)
+    return Workload(
+        f"planted(n={n},{p_in}/{p_out})", Graph.from_edges(n, edges), stream
+    )
+
+
+def _dumbbell(clique: int, bridges: int, seed: int) -> Workload:
+    edges = dumbbell_graph(clique, bridges)
+    n = 2 * clique
+    stream = churn_stream(n, edges, seed=seed + 1)
+    return Workload(
+        f"dumbbell(c={clique},b={bridges})", Graph.from_edges(n, edges), stream
+    )
+
+
+def _grid(rows: int, cols: int, seed: int) -> Workload:
+    edges = grid_graph(rows, cols)
+    n = rows * cols
+    stream = churn_stream(n, edges, seed=seed + 1)
+    return Workload(f"grid({rows}x{cols})", Graph.from_edges(n, edges), stream)
+
+
+def _triangles(n: int, p: float, planted: int, seed: int) -> Workload:
+    edges = triangle_planted_graph(n, p, planted, seed=seed)
+    stream = churn_stream(n, edges, seed=seed + 1)
+    return Workload(
+        f"triangles(n={n},planted={planted})", Graph.from_edges(n, edges), stream
+    )
+
+
+def _weighted(n: int, p: float, max_w: int, seed: int) -> Workload:
+    wedges = random_weighted_edges(n, p, max_w, seed=seed)
+    stream = weighted_churn_stream(n, wedges, seed=seed + 1)
+    return Workload(f"weighted(n={n},W={max_w})", graph_from_stream(stream), stream)
+
+
+#: Registry of workload builders keyed by name.
+WORKLOADS = {
+    "er-small": lambda seed=0: _er(32, 0.4, seed),
+    "er-dense": lambda seed=0: _er(48, 0.8, seed),
+    "er-sparse": lambda seed=0: _er(48, 0.15, seed),
+    "planted": lambda seed=0: _planted(40, 0.7, 0.1, seed),
+    "dumbbell": lambda seed=0: _dumbbell(10, 4, seed),
+    "dumbbell-large": lambda seed=0: _dumbbell(16, 6, seed),
+    "grid": lambda seed=0: _grid(6, 6, seed),
+    "grid-large": lambda seed=0: _grid(8, 8, seed),
+    "triangles": lambda seed=0: _triangles(36, 0.12, 6, seed),
+    "weighted": lambda seed=0: _weighted(28, 0.4, 12, seed),
+}
+
+
+def make_workload(name: str, seed: int = 0) -> Workload:
+    """Instantiate a named workload with the given seed."""
+    try:
+        builder = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+    return builder(seed=seed)

@@ -1,0 +1,72 @@
+"""Exact graph algorithms: substrate and ground truth for every experiment."""
+
+from .connectivity import (
+    UnionFind,
+    connected_components,
+    is_connected,
+    is_k_edge_connected,
+    sparse_certificate,
+    spanning_forest,
+)
+from .cuts import (
+    all_edge_connectivities,
+    brute_force_min_cut,
+    edge_connectivity,
+    global_min_cut_value,
+    stoer_wagner,
+)
+from .distances import (
+    all_pairs_distances,
+    bfs_distances,
+    diameter,
+    dijkstra,
+    eccentricity,
+)
+from .gomory_hu import GomoryHuTree, gomory_hu_tree
+from .graph import Graph
+from .maxflow import MaxFlow, min_st_cut
+from .spanners import StretchReport, is_spanner, measure_stretch, verify_subgraph
+from .subgraphs import (
+    census,
+    count_nonempty_subgraphs,
+    count_pattern,
+    gamma_exact,
+    induced_edge_pattern,
+    triangle_count,
+    wedge_count,
+)
+
+__all__ = [
+    "Graph",
+    "GomoryHuTree",
+    "MaxFlow",
+    "StretchReport",
+    "UnionFind",
+    "all_edge_connectivities",
+    "all_pairs_distances",
+    "bfs_distances",
+    "brute_force_min_cut",
+    "census",
+    "connected_components",
+    "count_nonempty_subgraphs",
+    "count_pattern",
+    "diameter",
+    "dijkstra",
+    "eccentricity",
+    "edge_connectivity",
+    "gamma_exact",
+    "global_min_cut_value",
+    "gomory_hu_tree",
+    "induced_edge_pattern",
+    "is_connected",
+    "is_k_edge_connected",
+    "is_spanner",
+    "measure_stretch",
+    "min_st_cut",
+    "sparse_certificate",
+    "spanning_forest",
+    "stoer_wagner",
+    "triangle_count",
+    "verify_subgraph",
+    "wedge_count",
+]

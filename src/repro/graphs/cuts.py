@@ -1,0 +1,138 @@
+"""Global minimum cuts: Stoer–Wagner, brute force, and edge connectivity.
+
+Ground truth for the MINCUT experiment (E1) and for the sampling
+thresholds of the sparsification analysis: Karger's lemma (Lemma 3.1)
+keys on the global minimum cut ``λ(G)``, Fung et al.'s theorem
+(Theorem 3.1) on per-edge connectivities ``λ_e = λ_{u,v}``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..errors import GraphError
+from .graph import Graph
+from .maxflow import MaxFlow
+
+__all__ = [
+    "stoer_wagner",
+    "global_min_cut_value",
+    "brute_force_min_cut",
+    "edge_connectivity",
+    "all_edge_connectivities",
+]
+
+
+def stoer_wagner(graph: Graph) -> tuple[float, set[int]]:
+    """Global minimum cut by the Stoer–Wagner algorithm.
+
+    Returns ``(value, side)`` where ``side`` is one shore of a minimum
+    cut.  Requires a connected graph with at least two nodes and
+    non-negative weights; a disconnected graph trivially has cut 0 and
+    is reported as such with a connected-component shore.
+    """
+    n = graph.n
+    if n < 2:
+        raise GraphError("minimum cut needs at least two nodes")
+    component = _component_of(graph, 0)
+    if len(component) < n:
+        return 0.0, component
+
+    # Mutable dense adjacency over "supernodes"; merged[v] = nodes absorbed.
+    active = list(range(n))
+    weight = {u: dict(graph.neighbor_items(u)) for u in range(n)}
+    merged: dict[int, set[int]] = {u: {u} for u in range(n)}
+
+    best_value = float("inf")
+    best_side: set[int] = set()
+
+    while len(active) > 1:
+        # Maximum-adjacency (minimum cut phase) order.
+        start = active[0]
+        in_a = {start}
+        w_to_a = dict(weight[start])
+        order = [start]
+        while len(order) < len(active):
+            nxt = max(
+                (u for u in active if u not in in_a),
+                key=lambda u: w_to_a.get(u, 0.0),
+            )
+            order.append(nxt)
+            in_a.add(nxt)
+            for v, w in weight[nxt].items():
+                if v not in in_a:
+                    w_to_a[v] = w_to_a.get(v, 0.0) + w
+        s, t = order[-2], order[-1]
+        cut_of_phase = w_to_a.get(t, 0.0)
+        if cut_of_phase < best_value:
+            best_value = cut_of_phase
+            best_side = set(merged[t])
+        # Merge t into s.
+        merged[s] |= merged[t]
+        for v, w in list(weight[t].items()):
+            if v == s:
+                continue
+            weight[s][v] = weight[s].get(v, 0.0) + w
+            weight[v][s] = weight[s][v]
+            del weight[v][t]
+        weight[s].pop(t, None)
+        del weight[t]
+        del merged[t]
+        active.remove(t)
+    return best_value, best_side
+
+
+def global_min_cut_value(graph: Graph) -> float:
+    """Global minimum cut value ``λ(G)`` (Section 2.2)."""
+    return stoer_wagner(graph)[0]
+
+
+def brute_force_min_cut(graph: Graph) -> tuple[float, set[int]]:
+    """Exhaustive minimum cut over all ``2^{n-1} - 1`` bipartitions.
+
+    Exponential; used only in tests (n ≤ ~16) to validate
+    :func:`stoer_wagner` and the sketch-based MINCUT.
+    """
+    n = graph.n
+    if n < 2:
+        raise GraphError("minimum cut needs at least two nodes")
+    if n > 20:
+        raise GraphError(f"brute force min cut infeasible for n={n}")
+    best = float("inf")
+    best_side: set[int] = set()
+    nodes = list(range(1, n))
+    for r in range(0, n - 1):
+        for rest in itertools.combinations(nodes, r):
+            side = {0, *rest}
+            value = graph.cut_value(side)
+            if value < best:
+                best = value
+                best_side = side
+    return best, best_side
+
+
+def edge_connectivity(graph: Graph, u: int, v: int) -> float:
+    """Minimum u-v cut value ``λ_{u,v}`` via max-flow."""
+    return MaxFlow(graph).max_flow(u, v)
+
+
+def all_edge_connectivities(graph: Graph) -> dict[tuple[int, int], float]:
+    """``λ_e`` for every edge ``e`` of the graph.
+
+    The quantity Fung et al. sampling (Theorem 3.1) keys on.  One
+    max-flow per edge; fine at experiment scale.
+    """
+    flow = MaxFlow(graph)
+    return {(u, v): flow.max_flow(u, v) for u, v in graph.edges()}
+
+
+def _component_of(graph: Graph, start: int) -> set[int]:
+    seen = {start}
+    stack = [start]
+    while stack:
+        u = stack.pop()
+        for v in graph.neighbors(u):
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return seen

@@ -1,0 +1,91 @@
+"""Shortest-path distances: BFS, Dijkstra, all-pairs, diameter.
+
+Ground truth ``d_G(u, v)`` for the spanner experiments (Section 5): a
+subgraph ``H`` is an α-spanner iff
+``d_G(u, v) <= d_H(u, v) <= α · d_G(u, v)`` for all pairs
+(Definition 3).  The left inequality is automatic for subgraphs; the
+right one is what :mod:`repro.graphs.spanners` measures using these
+routines.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+
+from ..errors import GraphError
+from .graph import Graph
+
+__all__ = [
+    "bfs_distances",
+    "dijkstra",
+    "all_pairs_distances",
+    "eccentricity",
+    "diameter",
+]
+
+
+def bfs_distances(graph: Graph, source: int) -> list[float]:
+    """Hop distances from ``source``; ``inf`` for unreachable nodes.
+
+    The spanner sections treat graphs as unweighted, so BFS is the
+    default distance oracle.
+    """
+    if not 0 <= source < graph.n:
+        raise GraphError(f"source {source} outside universe [0, {graph.n})")
+    dist = [math.inf] * graph.n
+    dist[source] = 0.0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if math.isinf(dist[v]):
+                dist[v] = dist[u] + 1.0
+                queue.append(v)
+    return dist
+
+
+def dijkstra(graph: Graph, source: int) -> list[float]:
+    """Weighted shortest-path distances from ``source`` (non-negative weights)."""
+    if not 0 <= source < graph.n:
+        raise GraphError(f"source {source} outside universe [0, {graph.n})")
+    dist = [math.inf] * graph.n
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in graph.neighbor_items(u):
+            if w < 0:
+                raise GraphError(f"negative weight {w} on edge ({u}, {v})")
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def all_pairs_distances(graph: Graph, weighted: bool = False) -> list[list[float]]:
+    """All-pairs distances via repeated BFS/Dijkstra.
+
+    ``O(n·m)`` unweighted; fine at experiment scale (n ≤ a few hundred).
+    """
+    single = dijkstra if weighted else bfs_distances
+    return [single(graph, s) for s in range(graph.n)]
+
+
+def eccentricity(graph: Graph, source: int) -> float:
+    """Greatest finite hop distance from ``source`` (inf if isolated... unreachable parts ignored)."""
+    dist = bfs_distances(graph, source)
+    finite = [d for d in dist if not math.isinf(d)]
+    return max(finite)
+
+
+def diameter(graph: Graph) -> float:
+    """Largest finite pairwise hop distance."""
+    best = 0.0
+    for s in range(graph.n):
+        best = max(best, eccentricity(graph, s))
+    return best

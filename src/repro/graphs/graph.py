@@ -1,0 +1,213 @@
+"""In-memory weighted graph used as substrate and ground truth.
+
+The sketches never materialise the graph — that is the point of the
+paper — but the post-processing steps (Gomory–Hu trees on the rough
+sparsifier, min-cut computations on witnesses) and every experiment's
+verification do.  :class:`Graph` is a small, explicit adjacency-map
+multigraph with real-valued edge weights; parallel edges are folded
+into weights, matching how the paper treats multiplicities.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from ..errors import GraphError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """Undirected weighted graph on nodes ``[0, n)``.
+
+    Parameters
+    ----------
+    n:
+        Node universe size.  Nodes are dense integers; isolated nodes
+        are first-class (cut and distance semantics need them).
+
+    Notes
+    -----
+    Weights are kept as floats; integer multiplicities round-trip
+    exactly.  Self-loops are rejected, matching Definition 1.
+    """
+
+    __slots__ = ("n", "_adj")
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise GraphError(f"graph needs at least one node, got n={n}")
+        self.n = n
+        self._adj: list[dict[int, float]] = [dict() for _ in range(n)]
+
+    # -- construction ---------------------------------------------------------
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add ``weight`` to edge ``{u, v}`` (creating it if absent).
+
+        A zero-resulting weight removes the edge, mirroring multiplicity
+        cancellation in dynamic streams.
+        """
+        self._check_pair(u, v)
+        new = self._adj[u].get(v, 0.0) + weight
+        if new == 0.0:
+            self._adj[u].pop(v, None)
+            self._adj[v].pop(u, None)
+        else:
+            self._adj[u][v] = new
+            self._adj[v][u] = new
+
+    def set_edge(self, u: int, v: int, weight: float) -> None:
+        """Set edge ``{u, v}`` weight exactly (0 deletes)."""
+        self._check_pair(u, v)
+        if weight == 0.0:
+            self._adj[u].pop(v, None)
+            self._adj[v].pop(u, None)
+        else:
+            self._adj[u][v] = weight
+            self._adj[v][u] = weight
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove edge ``{u, v}``; raises if absent."""
+        self._check_pair(u, v)
+        if v not in self._adj[u]:
+            raise GraphError(f"edge ({u}, {v}) not present")
+        del self._adj[u][v]
+        del self._adj[v][u]
+
+    @classmethod
+    def from_edges(
+        cls, n: int, edges: Iterable[tuple[int, int]], weight: float = 1.0
+    ) -> "Graph":
+        """Build a graph from an unweighted edge list."""
+        g = cls(n)
+        for u, v in edges:
+            g.add_edge(u, v, weight)
+        return g
+
+    @classmethod
+    def from_weighted_edges(
+        cls, n: int, edges: Iterable[tuple[int, int, float]]
+    ) -> "Graph":
+        """Build a graph from ``(u, v, weight)`` triples."""
+        g = cls(n)
+        for u, v, w in edges:
+            g.add_edge(u, v, w)
+        return g
+
+    @classmethod
+    def from_multiplicities(
+        cls, n: int, mult: Mapping[tuple[int, int], int]
+    ) -> "Graph":
+        """Build from a stream's aggregate multiplicity map."""
+        g = cls(n)
+        for (u, v), m in mult.items():
+            if m < 0:
+                raise GraphError(f"negative multiplicity {m} for edge ({u}, {v})")
+            if m:
+                g.add_edge(u, v, float(m))
+        return g
+
+    # -- queries ----------------------------------------------------------------
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``{u, v}`` is present."""
+        self._check_pair(u, v)
+        return v in self._adj[u]
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of edge ``{u, v}`` (0 if absent)."""
+        self._check_pair(u, v)
+        return self._adj[u].get(v, 0.0)
+
+    def neighbors(self, u: int) -> Iterator[int]:
+        """Iterate over neighbours of ``u``."""
+        self._check_node(u)
+        return iter(self._adj[u])
+
+    def neighbor_items(self, u: int) -> Iterator[tuple[int, float]]:
+        """Iterate over ``(neighbor, weight)`` pairs of ``u``."""
+        self._check_node(u)
+        return iter(self._adj[u].items())
+
+    def degree(self, u: int) -> int:
+        """Number of distinct neighbours of ``u``."""
+        self._check_node(u)
+        return len(self._adj[u])
+
+    def weighted_degree(self, u: int) -> float:
+        """Total incident weight of ``u``."""
+        self._check_node(u)
+        return sum(self._adj[u].values())
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate edges once, as ``(u, v)`` with ``u < v``."""
+        for u in range(self.n):
+            for v in self._adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    def weighted_edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate ``(u, v, weight)`` with ``u < v``."""
+        for u in range(self.n):
+            for v, w in self._adj[u].items():
+                if u < v:
+                    yield (u, v, w)
+
+    def num_edges(self) -> int:
+        """Number of distinct edges."""
+        return sum(len(a) for a in self._adj) // 2
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return sum(w for _, _, w in self.weighted_edges())
+
+    def cut_value(self, side: Iterable[int]) -> float:
+        """Capacity ``λ_A`` of the cut ``(A, V \\ A)`` (Section 2.2)."""
+        in_side = set(side)
+        for u in in_side:
+            self._check_node(u)
+        total = 0.0
+        for u in in_side:
+            for v, w in self._adj[u].items():
+                if v not in in_side:
+                    total += w
+        return total
+
+    def subgraph_on_edges(
+        self, edges: Iterable[tuple[int, int]], weight: float = 1.0
+    ) -> "Graph":
+        """A graph on the same universe restricted to the given edges."""
+        g = Graph(self.n)
+        for u, v in edges:
+            if not self.has_edge(u, v):
+                raise GraphError(f"edge ({u}, {v}) not in graph")
+            g.add_edge(u, v, weight)
+        return g
+
+    def copy(self) -> "Graph":
+        """Deep copy."""
+        g = Graph(self.n)
+        for u, v, w in self.weighted_edges():
+            g.set_edge(u, v, w)
+        return g
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self.n == other.n and self._adj == other._adj
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self.n}, m={self.num_edges()})"
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self.n:
+            raise GraphError(f"node {u} outside universe [0, {self.n})")
+
+    def _check_pair(self, u: int, v: int) -> None:
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise GraphError(f"self-loop ({u}, {v}) not allowed")

@@ -1,0 +1,116 @@
+"""Spanner verification: stretch measurement against Definition 3.
+
+``H`` is an α-spanner of ``G`` when
+``d_G(u, v) <= d_H(u, v) <= α · d_G(u, v)`` for every pair.  For a
+subgraph the lower bound is automatic, so verification reduces to
+measuring the *stretch* ``d_H / d_G`` over connected pairs.  The
+experiments report maximum and mean stretch over all (or sampled)
+pairs and compare them with the paper's bounds: ``2k - 1`` for the
+Baswana–Sen emulation and ``k^{log₂ 5} - 1`` for RECURSECONNECT
+(Theorem 5.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GraphError
+from .distances import bfs_distances
+from .graph import Graph
+
+__all__ = ["StretchReport", "verify_subgraph", "measure_stretch", "is_spanner"]
+
+
+@dataclass(frozen=True, slots=True)
+class StretchReport:
+    """Stretch statistics of a candidate spanner.
+
+    Attributes
+    ----------
+    max_stretch:
+        Largest ``d_H(u,v) / d_G(u,v)`` over evaluated pairs (inf if H
+        disconnects a pair G connects).
+    mean_stretch:
+        Average over evaluated pairs.
+    pairs_evaluated:
+        Number of (connected-in-G) pairs measured.
+    disconnected_pairs:
+        Pairs connected in G but not in H — must be 0 for a spanner.
+    spanner_edges:
+        Edge count of H, the space side of the trade-off.
+    """
+
+    max_stretch: float
+    mean_stretch: float
+    pairs_evaluated: int
+    disconnected_pairs: int
+    spanner_edges: int
+
+    def satisfies(self, alpha: float) -> bool:
+        """Whether the measured stretch certifies an α-spanner."""
+        return self.disconnected_pairs == 0 and self.max_stretch <= alpha + 1e-9
+
+
+def verify_subgraph(graph: Graph, candidate: Graph) -> None:
+    """Assert the candidate spanner only uses edges of ``graph``."""
+    if candidate.n != graph.n:
+        raise GraphError("spanner and graph are over different node universes")
+    for u, v in candidate.edges():
+        if not graph.has_edge(u, v):
+            raise GraphError(f"spanner edge ({u}, {v}) not present in the graph")
+
+
+def measure_stretch(
+    graph: Graph,
+    candidate: Graph,
+    sample_pairs: int | None = None,
+    seed: int = 0,
+) -> StretchReport:
+    """Measure hop-distance stretch of ``candidate`` w.r.t. ``graph``.
+
+    With ``sample_pairs`` set, sources are subsampled for larger graphs;
+    otherwise all sources are used (``O(n·m)`` BFS total).
+    """
+    verify_subgraph(graph, candidate)
+    n = graph.n
+    sources = list(range(n))
+    if sample_pairs is not None and sample_pairs < n:
+        rng = np.random.default_rng(seed)
+        sources = sorted(rng.choice(n, size=sample_pairs, replace=False).tolist())
+
+    worst = 1.0
+    total = 0.0
+    pairs = 0
+    disconnected = 0
+    for s in sources:
+        dg = bfs_distances(graph, s)
+        dh = bfs_distances(candidate, s)
+        for v in range(n):
+            if v == s or math.isinf(dg[v]):
+                continue
+            pairs += 1
+            if math.isinf(dh[v]):
+                disconnected += 1
+                worst = math.inf
+                continue
+            if dg[v] > 0:
+                ratio = dh[v] / dg[v]
+                worst = max(worst, ratio)
+                total += ratio
+    ok_pairs = pairs - disconnected
+    mean = (total / ok_pairs) if ok_pairs else 1.0
+    return StretchReport(
+        max_stretch=worst,
+        mean_stretch=mean,
+        pairs_evaluated=pairs,
+        disconnected_pairs=disconnected,
+        spanner_edges=candidate.num_edges(),
+    )
+
+
+def is_spanner(graph: Graph, candidate: Graph, alpha: float) -> bool:
+    """Full-verification convenience: candidate is an α-spanner of graph."""
+    return measure_stretch(graph, candidate).satisfies(alpha)

@@ -1,0 +1,30 @@
+"""Hashing substrate: random-oracle mixing, k-wise families, Nisan PRG.
+
+Three interchangeable backends implement the hash protocol
+(``hash64 / uniform / bucket / bernoulli / levels``):
+
+* :class:`~repro.hashing.mix.HashSource` — seeded splitmix64, the fast
+  default standing in for the paper's random oracle;
+* :class:`~repro.hashing.polynomial.KWiseHash` — limited independence
+  via random polynomials over ``GF(2^31 - 1)``;
+* :class:`~repro.hashing.prg.NisanPRG` — the Section 3.4
+  derandomisation, expanding a short truly random seed into the bit
+  stream consumed by the sketches.
+"""
+
+from .field import MERSENNE31, horner_mod, mod_mersenne31, mulmod, powmod
+from .mix import HashSource, splitmix64
+from .polynomial import KWiseHash
+from .prg import NisanPRG
+
+__all__ = [
+    "MERSENNE31",
+    "HashSource",
+    "KWiseHash",
+    "NisanPRG",
+    "horner_mod",
+    "mod_mersenne31",
+    "mulmod",
+    "powmod",
+    "splitmix64",
+]

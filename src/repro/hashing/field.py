@@ -1,0 +1,96 @@
+"""Prime-field arithmetic helpers for fingerprints and hash families.
+
+All sketch fingerprints and limited-independence hash families in this
+package work over the Mersenne prime field ``GF(p)`` with
+``p = 2^31 - 1``.  Staying below 2^31 keeps every intermediate product
+inside a 64-bit integer, which lets the hot paths run as vectorised
+numpy ``int64`` arithmetic with no overflow.  Where a single 31-bit
+field gives too much collision probability, callers combine **two**
+independent fingerprints (different generators), squaring the error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "MERSENNE31",
+    "mod_mersenne31",
+    "mulmod",
+    "powmod",
+    "horner_mod",
+]
+
+#: The Mersenne prime 2^31 - 1 used for all vectorised field arithmetic.
+MERSENNE31: int = (1 << 31) - 1
+
+
+def mod_mersenne31(x: np.ndarray | int) -> np.ndarray | int:
+    """Reduce ``x`` modulo ``2^31 - 1`` using the Mersenne shortcut.
+
+    For ``x < 2^62`` two folding rounds suffice: write
+    ``x = a * 2^31 + b``; then ``x ≡ a + b (mod p)``.  Works elementwise
+    on numpy int64 arrays and on Python ints alike.
+    """
+    if isinstance(x, (int, np.integer)):
+        x = (int(x) & MERSENNE31) + (int(x) >> 31)
+        if x >= MERSENNE31:
+            x -= MERSENNE31
+        return x
+    x = np.asarray(x, dtype=np.int64)
+    x = (x & MERSENNE31) + (x >> 31)
+    x = (x & MERSENNE31) + (x >> 31)
+    return np.where(x >= MERSENNE31, x - MERSENNE31, x)
+
+
+def mulmod(a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray | int:
+    """Product modulo ``2^31 - 1``.
+
+    Inputs must already be reduced (``< 2^31``) so the raw product fits
+    in an int64.  Elementwise on arrays.
+    """
+    if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+        return int(a) * int(b) % MERSENNE31
+    prod = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+    return mod_mersenne31(prod)
+
+
+def powmod(base: int, exp: int) -> int:
+    """Scalar ``base ** exp mod (2^31 - 1)``."""
+    return pow(base % MERSENNE31, exp, MERSENNE31)
+
+
+def powmod_array(base: int, exps: np.ndarray) -> np.ndarray:
+    """Vectorised ``base ** exps mod (2^31 - 1)`` by binary exponentiation.
+
+    ``exps`` is an array of non-negative int64 exponents.  Runs in
+    ``O(len(exps) * log(max exp))`` field multiplications.
+    """
+    exps = np.asarray(exps, dtype=np.int64)
+    result = np.ones_like(exps)
+    b = base % MERSENNE31
+    remaining = exps.copy()
+    while np.any(remaining > 0):
+        odd = (remaining & 1).astype(bool)
+        if np.any(odd):
+            result[odd] = mulmod(result[odd], b)
+        remaining >>= 1
+        b = int(mulmod(b, b))
+    return result
+
+
+def horner_mod(coeffs: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Evaluate a polynomial at many points over ``GF(2^31 - 1)``.
+
+    ``coeffs`` are given highest-degree first.  This is the work-horse of
+    the k-wise independent hash family: a random degree-(k-1) polynomial
+    evaluated at the key gives a k-wise independent value.
+    """
+    x = mod_mersenne31(np.asarray(x, dtype=np.int64))
+    acc = np.full_like(x, int(coeffs[0]) % MERSENNE31)
+    for c in coeffs[1:]:
+        acc = mod_mersenne31(mulmod(acc, x) + (int(c) % MERSENNE31))
+    return acc
+
+
+__all__.append("powmod_array")

@@ -1,0 +1,47 @@
+"""Linear sketch primitives: 1-sparse cells, ℓ₀ samplers, k-RECOVERY.
+
+The building blocks of Section 2.3, each in scalar (reference) and
+numpy-bank (production) form, plus the squash encoding of Section 4.
+"""
+
+from .bank import CellBank, decode_cells
+from .base import LinearSketch
+from .l0 import L0Sampler, L0SamplerBank
+from .onesparse import OneSparseCell
+from .serialize import (
+    dump_l0_bank,
+    dump_recovery_bank,
+    load_l0_bank,
+    load_recovery_bank,
+)
+from .sparse_recovery import SparseRecovery, SparseRecoveryBank, bucket_count_for
+from .squash import (
+    is_valid_encoding,
+    pair_position_in_subset,
+    pair_positions_k3,
+    rows_for_order,
+    squash_matrix,
+    unsquash_value,
+)
+
+__all__ = [
+    "CellBank",
+    "L0Sampler",
+    "L0SamplerBank",
+    "LinearSketch",
+    "OneSparseCell",
+    "SparseRecovery",
+    "SparseRecoveryBank",
+    "bucket_count_for",
+    "decode_cells",
+    "dump_l0_bank",
+    "dump_recovery_bank",
+    "load_l0_bank",
+    "load_recovery_bank",
+    "is_valid_encoding",
+    "pair_position_in_subset",
+    "pair_positions_k3",
+    "rows_for_order",
+    "squash_matrix",
+    "unsquash_value",
+]

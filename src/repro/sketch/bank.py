@@ -1,0 +1,156 @@
+"""Vectorised banks of 1-sparse cells.
+
+Every sketch algorithm in the paper maintains *many* small sketches:
+``O(log n)`` ℓ₀ samplers per node per Borůvka round, per subsampling
+level, per connectivity group...  Naive per-object Python sketches are
+two orders of magnitude too slow, so this module stores all cells of a
+bank in four contiguous ``int64`` arrays —
+
+* ``phi``   — ``Σ x_i`` per cell,
+* ``iota``  — ``Σ i·x_i`` per cell,
+* ``fp1``, ``fp2`` — two polynomial fingerprints mod ``p = 2^31 - 1`` —
+
+and applies updates with ``np.add.at`` scatter operations, touching all
+affected (sampler, level, row) cells of a batch in a handful of numpy
+calls.  Decoding is likewise vectorised: the 1-sparseness test of
+:mod:`repro.sketch.onesparse` is evaluated for whole cell blocks at
+once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hashing import MERSENNE31, HashSource
+from ..hashing.field import mod_mersenne31, powmod_array
+
+__all__ = ["CellBank", "decode_cells"]
+
+
+class CellBank:
+    """A flat array of 1-sparse cells sharing fingerprint generators.
+
+    Parameters
+    ----------
+    size:
+        Total number of cells.
+    domain:
+        Index universe of the sketched vector(s); decoded indices are
+        validated against it.
+    source:
+        Seed source; determines the two fingerprint generators shared by
+        every cell in the bank (sharing is sound — each cell's test is a
+        separate polynomial identity).
+    """
+
+    __slots__ = ("size", "domain", "z1", "z2", "phi", "iota", "fp1", "fp2")
+
+    def __init__(self, size: int, domain: int, source: HashSource):
+        if size < 1:
+            raise ValueError(f"bank needs at least one cell, got {size}")
+        if domain < 1:
+            raise ValueError(f"domain must be positive, got {domain}")
+        self.size = size
+        self.domain = domain
+        self.z1 = 2 + int(source.derive(1).hash64(0)) % (MERSENNE31 - 2)
+        self.z2 = 2 + int(source.derive(2).hash64(0)) % (MERSENNE31 - 2)
+        self.phi = np.zeros(size, dtype=np.int64)
+        self.iota = np.zeros(size, dtype=np.int64)
+        self.fp1 = np.zeros(size, dtype=np.int64)
+        self.fp2 = np.zeros(size, dtype=np.int64)
+
+    def scatter(
+        self, cells: np.ndarray, items: np.ndarray, deltas: np.ndarray
+    ) -> None:
+        """Apply ``x[items] += deltas`` routed into ``cells``.
+
+        All three arrays are parallel; the same cell may appear multiple
+        times (contributions accumulate).  This is the single hot path
+        of the library.
+        """
+        cells = np.asarray(cells, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        np.add.at(self.phi, cells, deltas)
+        np.add.at(self.iota, cells, items * deltas)
+        dmod = np.mod(deltas, MERSENNE31)
+        pw1 = powmod_array(self.z1, items)
+        pw2 = powmod_array(self.z2, items)
+        np.add.at(self.fp1, cells, mod_mersenne31(dmod * pw1))
+        np.add.at(self.fp2, cells, mod_mersenne31(dmod * pw2))
+        # Keep fingerprints reduced so subsequent adds cannot overflow.
+        self.fp1 = mod_mersenne31(self.fp1)
+        self.fp2 = mod_mersenne31(self.fp2)
+
+    def merge(self, other: "CellBank") -> None:
+        """Cell-wise addition of a bank with identical seed and shape."""
+        if (
+            other.size != self.size
+            or other.domain != self.domain
+            or other.z1 != self.z1
+            or other.z2 != self.z2
+        ):
+            raise ValueError("can only merge banks with identical shape and seed")
+        self.phi += other.phi
+        self.iota += other.iota
+        self.fp1 = mod_mersenne31(self.fp1 + other.fp1)
+        self.fp2 = mod_mersenne31(self.fp2 + other.fp2)
+
+    def cells_view(
+        self, idx: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Gather ``(phi, iota, fp1, fp2)`` for the given cell indices."""
+        return self.phi[idx], self.iota[idx], self.fp1[idx], self.fp2[idx]
+
+    def summed_cells(
+        self, idx2d: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Sum cells across the first axis of a 2-D index array.
+
+        ``idx2d`` has shape ``(groups, cells)``; the result is the
+        cell-wise sum over the ``groups`` axis — the linear-combination
+        trick of the AGM sketch: the sketch of a supernode is the sum of
+        its members' sketches.
+        """
+        phi = self.phi[idx2d].sum(axis=0)
+        iota = self.iota[idx2d].sum(axis=0)
+        fp1 = mod_mersenne31(self.fp1[idx2d].sum(axis=0))
+        fp2 = mod_mersenne31(self.fp2[idx2d].sum(axis=0))
+        return phi, iota, fp1, fp2
+
+    def memory_cells(self) -> int:
+        """Number of cells — the space-accounting unit of EXPERIMENTS.md."""
+        return self.size
+
+
+def decode_cells(
+    phi: np.ndarray,
+    iota: np.ndarray,
+    fp1: np.ndarray,
+    fp2: np.ndarray,
+    domain: int,
+    z1: int,
+    z2: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised 1-sparse decoding of a block of cells.
+
+    Returns ``(ok, index, value)`` arrays with the block's shape; where
+    ``ok`` is True the cell verifiably holds exactly one non-zero entry
+    ``x[index] = value``.  Cells failing any test (zero, multi-item, or
+    fingerprint mismatch) have ``ok = False``.
+    """
+    phi = np.asarray(phi)
+    iota = np.asarray(iota)
+    ok = phi != 0
+    index = np.zeros_like(iota)
+    safe_phi = np.where(ok, phi, 1)
+    divisible = np.mod(iota, safe_phi) == 0
+    ok &= divisible
+    index = np.where(ok, iota // safe_phi, 0)
+    ok &= (index >= 0) & (index < domain)
+    idx_clipped = np.clip(index, 0, domain - 1)
+    phimod = np.mod(phi, MERSENNE31)
+    want1 = mod_mersenne31(phimod * powmod_array(z1, idx_clipped))
+    want2 = mod_mersenne31(phimod * powmod_array(z2, idx_clipped))
+    ok &= (fp1 == want1) & (fp2 == want2)
+    return ok, index, phi

@@ -1,0 +1,46 @@
+"""Linear sketch interface (Definition 2).
+
+A *sketch* is a collection of linear measurements of a vector
+``x ∈ R^N``; linearity is the load-bearing property of the whole paper:
+
+* **dynamic streams** — an edge deletion is just an update with
+  ``delta = -1``, cancelling the earlier insertion inside the sketch;
+* **distributed streams / MapReduce** — sketches of sub-streams *add*:
+  ``sketch(S1 || S2) = sketch(S1) + sketch(S2)``.
+
+Every concrete sketch in :mod:`repro.sketch` implements this interface,
+and the property tests assert both bullets hold exactly (not just in
+distribution) for every implementation.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["LinearSketch"]
+
+
+class LinearSketch(abc.ABC):
+    """Abstract base class for linear sketches of a vector in ``Z^N``."""
+
+    #: Size of the sketched vector's index universe.
+    domain: int
+
+    @abc.abstractmethod
+    def update(self, index: int, delta: int) -> None:
+        """Apply ``x[index] += delta``."""
+
+    @abc.abstractmethod
+    def merge(self, other: "LinearSketch") -> None:
+        """Add another sketch of the *same shape and seed* into this one.
+
+        After ``a.merge(b)``, ``a`` is the sketch of ``x_a + x_b``.
+        Implementations must raise :class:`ValueError` when shapes or
+        seeds differ — adding sketches built with different hash
+        functions is meaningless.
+        """
+
+    def update_many(self, indices, deltas) -> None:
+        """Bulk :meth:`update`; subclasses override with vectorised paths."""
+        for i, d in zip(indices, deltas):
+            self.update(int(i), int(d))

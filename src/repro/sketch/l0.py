@@ -1,0 +1,325 @@
+"""ℓ₀ sampling (Theorem 2.1, Jowhari–Sağlam–Tardos style).
+
+An ℓ₀ sampler of ``x ∈ Z^N`` returns, with probability ``1 - δ``, a
+pair ``(i, x_i)`` with ``i`` (near-)uniform over ``support(x)``; it may
+also return FAIL (raised here as :class:`~repro.errors.SamplerFailed`).
+
+Construction.  Each index is assigned a geometric *level*
+``ℓ(i) = trailing_zeros(h(i))`` and participates in levels
+``0..ℓ(i)`` (so level ``j`` subsamples the support at rate ``2^-j``).
+Each level is a small grid of ``rows × buckets`` 1-sparse cells; an
+index lands in one bucket per row.  To sample, decode every cell and
+return the recovered index with the **deepest level** (ties broken by
+hash) — that index is the argmax of a uniform hash over the support,
+hence a uniform sample, whenever it is isolated in some cell at its
+level, which happens with constant probability per level grid.
+
+Two implementations:
+
+* :class:`L0Sampler` — scalar, one vector, easy to read; used in tests
+  and small tools.
+* :class:`L0SamplerBank` — the vectorised work-horse: ``families ×
+  samplers`` independent samplers stored in one :class:`~repro.sketch.
+  bank.CellBank`.  All samplers of one *family* share hash functions,
+  so they can be summed (the AGM supernode trick); distinct families
+  are independent (fresh randomness per Borůvka round / per estimator
+  repetition).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SamplerFailed
+from ..hashing import HashSource
+from ..util import ceil_log2
+from .bank import CellBank, decode_cells
+from .base import LinearSketch
+from .onesparse import OneSparseCell
+
+__all__ = ["L0Sampler", "L0SamplerBank"]
+
+
+def _default_levels(domain: int) -> int:
+    """Number of subsampling levels: enough to isolate any support size."""
+    return ceil_log2(max(domain, 2)) + 2
+
+
+class L0Sampler(LinearSketch):
+    """Scalar reference ℓ₀ sampler over ``[0, domain)``.
+
+    Parameters
+    ----------
+    domain:
+        Universe size ``N``.
+    source:
+        Seed source (level hash, bucket hashes, fingerprints).
+    rows, buckets:
+        Grid dimensions of 1-sparse cells per level.
+    """
+
+    def __init__(
+        self,
+        domain: int,
+        source: HashSource,
+        rows: int = 2,
+        buckets: int = 4,
+    ):
+        if rows < 1 or buckets < 1:
+            raise ValueError("rows and buckets must be positive")
+        self.domain = domain
+        self.rows = rows
+        self.buckets = buckets
+        self.levels = _default_levels(domain)
+        self._level_source = source.derive(0xA)
+        self._bucket_source = source.derive(0xB)
+        self._cells = [
+            [
+                [OneSparseCell(domain, source.derive(0xC, lv, r, b)) for b in range(buckets)]
+                for r in range(rows)
+            ]
+            for lv in range(self.levels + 1)
+        ]
+
+    def level_of(self, index: int) -> int:
+        """Deepest level index ``index`` participates in."""
+        return int(self._level_source.levels(index, self.levels))
+
+    def _bucket_of(self, index: int, level: int, row: int) -> int:
+        key = (index * (self.levels + 1) + level) * self.rows + row
+        return int(self._bucket_source.bucket(key, self.buckets))
+
+    def update(self, index: int, delta: int) -> None:
+        """Apply ``x[index] += delta``."""
+        if not 0 <= index < self.domain:
+            raise ValueError(f"index {index} outside domain [0, {self.domain})")
+        top = self.level_of(index)
+        for lv in range(top + 1):
+            for r in range(self.rows):
+                b = self._bucket_of(index, lv, r)
+                self._cells[lv][r][b].update(index, delta)
+
+    def merge(self, other: "LinearSketch") -> None:
+        """Add a sampler with identical seed and shape."""
+        if not isinstance(other, L0Sampler) or other.domain != self.domain:
+            raise ValueError("can only merge L0Samplers over the same domain")
+        for lv in range(self.levels + 1):
+            for r in range(self.rows):
+                for b in range(self.buckets):
+                    self._cells[lv][r][b].merge(other._cells[lv][r][b])
+
+    def sample(self) -> tuple[int, int]:
+        """Return ``(index, value)`` for a (near-)uniform support element.
+
+        Raises
+        ------
+        SamplerFailed
+            With ``vector_is_zero=True`` when every cell is empty (the
+            sketched vector is zero w.h.p.), else a recovery failure.
+        """
+        best: tuple[int, int, int] | None = None  # (level_of(i), i, value)
+        any_nonzero = False
+        for lv in range(self.levels, -1, -1):
+            for r in range(self.rows):
+                for b in range(self.buckets):
+                    cell = self._cells[lv][r][b]
+                    if cell.is_zero():
+                        continue
+                    any_nonzero = True
+                    decoded = cell.try_decode()
+                    if decoded is None:
+                        continue
+                    i, v = decoded
+                    cand = (self.level_of(i), i, v)
+                    if best is None or cand[0] > best[0]:
+                        best = cand
+            if best is not None and best[0] >= lv:
+                # No deeper candidate can exist below this level.
+                break
+        if best is not None:
+            return best[1], best[2]
+        err = SamplerFailed(
+            "l0 sample failed" if any_nonzero else "sketched vector is zero"
+        )
+        err.vector_is_zero = not any_nonzero
+        raise err
+
+
+class L0SamplerBank:
+    """``families × samplers`` ℓ₀ samplers in one vectorised bank.
+
+    Within a family all samplers share hash functions — their cell
+    arrays can be *summed* to obtain the sampler of a sum of vectors
+    (:meth:`sample_sum`), the key trick behind AGM connectivity.
+    Distinct families use independent hashes.
+
+    Parameters
+    ----------
+    families:
+        Number of independent hash families ``F``.
+    samplers:
+        Samplers per family ``S`` (e.g. one per graph node).
+    domain:
+        Universe size ``N`` of each sketched vector.
+    source:
+        Seed source for the whole bank.
+    rows, buckets:
+        Per-level cell grid; memory per sampler is
+        ``(levels+1) * rows * buckets`` cells.
+    """
+
+    def __init__(
+        self,
+        families: int,
+        samplers: int,
+        domain: int,
+        source: HashSource,
+        rows: int = 2,
+        buckets: int = 4,
+    ):
+        if families < 1 or samplers < 1:
+            raise ValueError("families and samplers must be positive")
+        self.families = families
+        self.samplers = samplers
+        self.domain = domain
+        self.rows = rows
+        self.buckets = buckets
+        self.levels = _default_levels(domain)
+        #: Seed of the constructing source (used by sketch serialisation).
+        self.source_seed = getattr(source, "seed", None)
+        self._level_source = source.derive(0xA)
+        self._bucket_source = source.derive(0xB)
+        self._cells_per_sampler = (self.levels + 1) * rows * buckets
+        self.bank = CellBank(
+            families * samplers * self._cells_per_sampler, domain, source.derive(0xC)
+        )
+
+    # -- updates ---------------------------------------------------------------
+
+    def update(
+        self,
+        family_ids: np.ndarray,
+        sampler_ids: np.ndarray,
+        items: np.ndarray,
+        deltas: np.ndarray,
+    ) -> None:
+        """Apply ``x_{f,s}[item] += delta`` for each parallel entry.
+
+        The level expansion (each item participates in levels
+        ``0..ℓ(i)``) happens here; expected blow-up is 2×.
+        """
+        family_ids = np.asarray(family_ids, dtype=np.int64)
+        sampler_ids = np.asarray(sampler_ids, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        if items.size == 0:
+            return
+        top = self._levels_of(family_ids, items)
+        lengths = top + 1
+        total = int(lengths.sum())
+        rep_f = np.repeat(family_ids, lengths)
+        rep_s = np.repeat(sampler_ids, lengths)
+        rep_i = np.repeat(items, lengths)
+        rep_d = np.repeat(deltas, lengths)
+        starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        rep_lv = np.arange(total, dtype=np.int64) - np.repeat(starts, lengths)
+        self._scatter_rows(rep_f, rep_s, rep_lv, rep_i, rep_d)
+
+    def _levels_of(self, family_ids: np.ndarray, items: np.ndarray) -> np.ndarray:
+        keys = items * self.families + family_ids
+        return np.asarray(self._level_source.levels(keys, self.levels), dtype=np.int64)
+
+    def _scatter_rows(
+        self,
+        fams: np.ndarray,
+        samps: np.ndarray,
+        lvs: np.ndarray,
+        items: np.ndarray,
+        deltas: np.ndarray,
+    ) -> None:
+        base = (
+            (fams * self.samplers + samps) * (self.levels + 1) + lvs
+        ) * self.rows
+        for row in range(self.rows):
+            key = ((items * self.families + fams) * (self.levels + 1) + lvs) * self.rows + row
+            bucket = np.asarray(
+                self._bucket_source.bucket(key, self.buckets), dtype=np.int64
+            )
+            cells = (base + row) * self.buckets + bucket
+            self.bank.scatter(cells, items, deltas)
+
+    def merge(self, other: "L0SamplerBank") -> None:
+        """Cell-wise merge of an identically-seeded bank (distributed sum)."""
+        if (
+            other.families != self.families
+            or other.samplers != self.samplers
+            or other.domain != self.domain
+            or other.rows != self.rows
+            or other.buckets != self.buckets
+        ):
+            raise ValueError("can only merge identically-shaped banks")
+        self.bank.merge(other.bank)
+
+    # -- queries ---------------------------------------------------------------
+
+    def _sampler_cells(self, family: int, sampler: int) -> np.ndarray:
+        start = (family * self.samplers + sampler) * self._cells_per_sampler
+        return np.arange(start, start + self._cells_per_sampler, dtype=np.int64)
+
+    def sample(self, family: int, sampler: int) -> tuple[int, int]:
+        """Sample from a single sampler; see :meth:`L0Sampler.sample`."""
+        idx = self._sampler_cells(family, sampler)
+        return self._sample_from(family, self.bank.cells_view(idx))
+
+    def sample_sum(self, family: int, sampler_ids: list[int]) -> tuple[int, int]:
+        """Sample from the *sum* of several samplers of one family.
+
+        Equivalent to sketching ``Σ_s x_{f,s}`` directly — exact, not
+        approximate, by linearity.  Used to sample an outgoing edge of a
+        graph component from the sum of its nodes' incidence sketches.
+        """
+        if not sampler_ids:
+            raise ValueError("sampler_ids must be non-empty")
+        idx2d = np.stack([self._sampler_cells(family, s) for s in sampler_ids])
+        return self._sample_from(family, self.bank.summed_cells(idx2d))
+
+    def _sample_from(
+        self,
+        family: int,
+        cells: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    ) -> tuple[int, int]:
+        phi, iota, fp1, fp2 = cells
+        nonzero = (phi != 0) | (iota != 0) | (fp1 != 0) | (fp2 != 0)
+        if not bool(nonzero.any()):
+            err = SamplerFailed("sketched vector is zero")
+            err.vector_is_zero = True
+            raise err
+        ok, index, value = decode_cells(
+            phi, iota, fp1, fp2, self.domain, self.bank.z1, self.bank.z2
+        )
+        if not bool(ok.any()):
+            err = SamplerFailed("no cell decoded to a single item")
+            err.vector_is_zero = False
+            raise err
+        cand_idx = index[ok]
+        cand_val = value[ok]
+        fam_arr = np.full(cand_idx.shape, family, dtype=np.int64)
+        cand_lv = self._levels_of(fam_arr, cand_idx)
+        # Tie-break by hash so the argmax is deterministic per seed.
+        tiebreak = np.asarray(
+            self._level_source.hash64(cand_idx * self.families + family),
+            dtype=np.uint64,
+        )
+        order = np.lexsort((tiebreak, cand_lv))
+        best = order[-1]
+        return int(cand_idx[best]), int(cand_val[best])
+
+    def is_zero(self, family: int, sampler: int) -> bool:
+        """Whether sampler ``(family, sampler)``'s vector is zero (w.h.p.)."""
+        idx = self._sampler_cells(family, sampler)
+        phi, iota, fp1, fp2 = self.bank.cells_view(idx)
+        return not bool(((phi != 0) | (iota != 0) | (fp1 != 0) | (fp2 != 0)).any())
+
+    def memory_cells(self) -> int:
+        """Total 1-sparse cells — the space unit reported by experiments."""
+        return self.bank.memory_cells()

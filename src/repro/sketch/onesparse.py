@@ -1,0 +1,109 @@
+"""Exact 1-sparse detection — the cell every other sketch is built from.
+
+A 1-sparse detector for ``x ∈ Z^N`` stores three linear measurements:
+
+* ``phi  = Σ_i x_i``                 (total mass)
+* ``iota = Σ_i i · x_i``             (index-weighted mass)
+* ``fp   = Σ_i x_i · z^i  mod p``    (polynomial fingerprint)
+
+If ``x`` has exactly one non-zero entry ``x_i = v`` then
+``phi = v``, ``iota = i·v``, so ``i = iota / phi``, and the fingerprint
+confirms it: ``fp == v · z^i``.  A vector that merely *pretends* to be
+1-sparse fools the check with probability ``< N/p`` per fingerprint;
+we keep two independent fingerprints modulo ``p = 2^31 - 1``, driving
+the failure odds to ~``(N/p)²``.
+
+This module holds the scalar reference implementation used in tests and
+documentation; the numpy bank in :mod:`repro.sketch.bank` implements the
+same cell vectorised across millions of instances.
+"""
+
+from __future__ import annotations
+
+from ..errors import SketchFailure
+from ..hashing import MERSENNE31, HashSource, powmod
+from .base import LinearSketch
+
+__all__ = ["OneSparseCell"]
+
+
+class OneSparseCell(LinearSketch):
+    """Scalar 1-sparse detector over ``[0, domain)``.
+
+    Parameters
+    ----------
+    domain:
+        Index universe size ``N``.
+    source:
+        Seed source; determines the fingerprint generators ``z1, z2``.
+    """
+
+    __slots__ = ("domain", "phi", "iota", "fp1", "fp2", "z1", "z2", "_seed")
+
+    def __init__(self, domain: int, source: HashSource):
+        if domain < 1:
+            raise ValueError(f"domain must be positive, got {domain}")
+        self.domain = domain
+        self._seed = source.seed
+        # Generators in [2, p-1]; z=0,1 would collapse the fingerprint.
+        self.z1 = 2 + int(source.derive(1).hash64(0)) % (MERSENNE31 - 2)
+        self.z2 = 2 + int(source.derive(2).hash64(0)) % (MERSENNE31 - 2)
+        self.phi = 0
+        self.iota = 0
+        self.fp1 = 0
+        self.fp2 = 0
+
+    def update(self, index: int, delta: int) -> None:
+        """Apply ``x[index] += delta``."""
+        if not 0 <= index < self.domain:
+            raise ValueError(f"index {index} outside domain [0, {self.domain})")
+        self.phi += delta
+        self.iota += index * delta
+        self.fp1 = (self.fp1 + delta * powmod(self.z1, index)) % MERSENNE31
+        self.fp2 = (self.fp2 + delta * powmod(self.z2, index)) % MERSENNE31
+
+    def merge(self, other: "LinearSketch") -> None:
+        """Add another cell with identical seed and domain."""
+        if (
+            not isinstance(other, OneSparseCell)
+            or other.domain != self.domain
+            or other._seed != self._seed
+        ):
+            raise ValueError("can only merge OneSparseCells with equal seed/domain")
+        self.phi += other.phi
+        self.iota += other.iota
+        self.fp1 = (self.fp1 + other.fp1) % MERSENNE31
+        self.fp2 = (self.fp2 + other.fp2) % MERSENNE31
+
+    def is_zero(self) -> bool:
+        """Whether the sketched vector is (almost surely) identically zero."""
+        return self.phi == 0 and self.iota == 0 and self.fp1 == 0 and self.fp2 == 0
+
+    def decode(self) -> tuple[int, int]:
+        """Return ``(index, value)`` if the vector is exactly 1-sparse.
+
+        Raises
+        ------
+        SketchFailure
+            If the vector is zero, clearly not 1-sparse, or fails the
+            fingerprint confirmation.
+        """
+        if self.is_zero():
+            raise SketchFailure("cell is empty")
+        if self.phi == 0 or self.iota % self.phi != 0:
+            raise SketchFailure("cell is not 1-sparse (index test)")
+        index = self.iota // self.phi
+        if not 0 <= index < self.domain:
+            raise SketchFailure("cell is not 1-sparse (index out of range)")
+        want1 = self.phi % MERSENNE31 * powmod(self.z1, index) % MERSENNE31
+        want2 = self.phi % MERSENNE31 * powmod(self.z2, index) % MERSENNE31
+        if self.fp1 != want1 or self.fp2 != want2:
+            raise SketchFailure("cell is not 1-sparse (fingerprint test)")
+        return index, self.phi
+
+    def try_decode(self) -> tuple[int, int] | None:
+        """:meth:`decode` returning ``None`` instead of raising."""
+        try:
+            return self.decode()
+        except SketchFailure:
+            return None

@@ -1,0 +1,152 @@
+"""Sketch serialisation — shipping sketches between sites.
+
+The distributed-stream story (Section 1.1) requires sketches to travel:
+each site summarises its sub-stream locally and sends the *sketch* —
+not the stream — to a coordinator, which merges by addition.  This
+module provides a compact, dependency-free binary format (numpy ``npz``
+inside bytes) for the two bank types and the sketches built on them.
+
+Only identically-parameterised, identically-seeded sketches merge, so
+the format stores the constructor parameters and seeds alongside the
+cell arrays and :func:`loads`-side constructors verify them.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+
+from ..hashing import HashSource
+from .l0 import L0SamplerBank
+from .sparse_recovery import SparseRecoveryBank
+
+__all__ = [
+    "dump_l0_bank",
+    "load_l0_bank",
+    "dump_recovery_bank",
+    "load_recovery_bank",
+]
+
+_MAGIC = "repro-sketch-v1"
+
+
+def _pack(kind: str, meta: dict, arrays: dict[str, np.ndarray]) -> bytes:
+    header = dict(meta)
+    header["__magic__"] = _MAGIC
+    header["__kind__"] = kind
+    buf = io.BytesIO()
+    np.savez_compressed(
+        buf, __header__=np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        ), **arrays,
+    )
+    return buf.getvalue()
+
+
+def _unpack(data: bytes, kind: str) -> tuple[dict, dict[str, np.ndarray]]:
+    buf = io.BytesIO(data)
+    with np.load(buf) as npz:
+        header = json.loads(bytes(npz["__header__"]).decode("utf-8"))
+        arrays = {k: npz[k] for k in npz.files if k != "__header__"}
+    if header.get("__magic__") != _MAGIC:
+        raise ValueError("not a repro sketch blob")
+    if header.get("__kind__") != kind:
+        raise ValueError(
+            f"blob holds a {header.get('__kind__')!r}, expected {kind!r}"
+        )
+    return header, arrays
+
+
+def dump_l0_bank(bank: L0SamplerBank, seed: int | None = None) -> bytes:
+    """Serialise an :class:`L0SamplerBank`.
+
+    The bank's constructor seed travels with the blob so the receiving
+    side reconstructs identical hash functions (without it, the cell
+    arrays would be uninterpretable).  Banks built from non-seeded
+    sources must pass ``seed`` explicitly.
+    """
+    if seed is None:
+        seed = bank.source_seed
+    if seed is None:
+        raise ValueError("bank has no recorded seed; pass one explicitly")
+    meta = {
+        "seed": int(seed),
+        "families": bank.families,
+        "samplers": bank.samplers,
+        "domain": bank.domain,
+        "rows": bank.rows,
+        "buckets": bank.buckets,
+    }
+    arrays = {
+        "phi": bank.bank.phi,
+        "iota": bank.bank.iota,
+        "fp1": bank.bank.fp1,
+        "fp2": bank.bank.fp2,
+    }
+    return _pack("l0_bank", meta, arrays)
+
+
+def load_l0_bank(data: bytes) -> L0SamplerBank:
+    """Reconstruct an :class:`L0SamplerBank` from :func:`dump_l0_bank` bytes."""
+    meta, arrays = _unpack(data, "l0_bank")
+    bank = L0SamplerBank(
+        families=meta["families"],
+        samplers=meta["samplers"],
+        domain=meta["domain"],
+        source=HashSource(meta["seed"]),
+        rows=meta["rows"],
+        buckets=meta["buckets"],
+    )
+    _restore_cells(bank.bank, arrays)
+    return bank
+
+
+def dump_recovery_bank(bank: SparseRecoveryBank, seed: int | None = None) -> bytes:
+    """Serialise a :class:`SparseRecoveryBank` (see :func:`dump_l0_bank`)."""
+    if seed is None:
+        seed = bank.source_seed
+    if seed is None:
+        raise ValueError("bank has no recorded seed; pass one explicitly")
+    meta = {
+        "seed": int(seed),
+        "groups": bank.groups,
+        "instances": bank.instances,
+        "domain": bank.domain,
+        "k": bank.k,
+        "rows": bank.rows,
+    }
+    arrays = {
+        "phi": bank.bank.phi,
+        "iota": bank.bank.iota,
+        "fp1": bank.bank.fp1,
+        "fp2": bank.bank.fp2,
+    }
+    return _pack("recovery_bank", meta, arrays)
+
+
+def load_recovery_bank(data: bytes) -> SparseRecoveryBank:
+    """Reconstruct a bank from :func:`dump_recovery_bank` bytes."""
+    meta, arrays = _unpack(data, "recovery_bank")
+    bank = SparseRecoveryBank(
+        groups=meta["groups"],
+        instances=meta["instances"],
+        domain=meta["domain"],
+        k=meta["k"],
+        source=HashSource(meta["seed"]),
+        rows=meta["rows"],
+    )
+    _restore_cells(bank.bank, arrays)
+    return bank
+
+
+def _restore_cells(cell_bank, arrays: dict[str, np.ndarray]) -> None:
+    if arrays["phi"].shape != cell_bank.phi.shape:
+        raise ValueError(
+            "serialised cell arrays do not match the reconstructed shape"
+        )
+    cell_bank.phi[:] = arrays["phi"]
+    cell_bank.iota[:] = arrays["iota"]
+    cell_bank.fp1[:] = arrays["fp1"]
+    cell_bank.fp2[:] = arrays["fp2"]

@@ -1,0 +1,110 @@
+"""The ``squash`` encoding of small binary matrices (Fig. 4).
+
+Section 4 reduces sampling a uniformly random *non-zero column* of a
+binary matrix ``X ∈ {0,1}^{a×b}`` to ordinary ℓ₀ sampling: encode each
+column as the integer ``Σ_row 2^row`` — adding 1 to entry ``(i, j)`` of
+``X`` adds ``2^i`` to entry ``j`` of ``squash(X)``.  An ℓ₀ sample of
+``squash(X)`` is then a uniform non-zero column together with its full
+contents.
+
+For the subgraph application, ``a = C(k, 2)`` rows index the vertex
+pairs of a k-subset in lexicographic order and the encoded value *is*
+the induced-subgraph bitmask used by the exact census
+(:func:`repro.graphs.subgraphs.induced_edge_pattern`), so sketch and
+ground truth speak the same language.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NotSupportedError
+from ..util import comb
+
+__all__ = [
+    "squash_matrix",
+    "unsquash_value",
+    "pair_position_in_subset",
+    "pair_positions_k3",
+    "is_valid_encoding",
+]
+
+
+def squash_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Encode a binary matrix column-wise: ``out[j] = Σ_i 2^i X[i, j]``.
+
+    Direct transcription of Fig. 4's ``Squash(X)``; mostly used by
+    tests to validate the incremental sketch-side encoding.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    if not np.isin(matrix, (0, 1)).all():
+        raise ValueError("squash encoding requires a binary matrix")
+    weights = (1 << np.arange(matrix.shape[0], dtype=np.int64)).reshape(-1, 1)
+    return (matrix * weights).sum(axis=0)
+
+
+def unsquash_value(value: int, rows: int) -> tuple[int, ...]:
+    """Decode a squash value back to the set of rows it contains.
+
+    Raises :class:`ValueError` if the value is not a valid encoding of a
+    binary column with the given row count — which happens for
+    multigraph columns (an edge with multiplicity 2 contributes
+    ``2·2^row``), so callers can detect the simple-graph precondition of
+    Section 4 being violated.
+    """
+    if not 0 <= value < (1 << rows):
+        raise ValueError(f"value {value} is not a {rows}-row binary column encoding")
+    return tuple(i for i in range(rows) if (value >> i) & 1)
+
+
+def is_valid_encoding(value: int, rows: int) -> bool:
+    """Whether ``value`` encodes some binary column with ``rows`` rows."""
+    return 0 <= value < (1 << rows)
+
+
+def pair_position_in_subset(subset: tuple[int, ...], u: int, v: int) -> int:
+    """Row index of pair ``{u, v}`` within a sorted k-subset.
+
+    Rows enumerate pairs of the sorted subset lexicographically:
+    (0,1), (0,2), ..., (0,k-1), (1,2), ...; this matches both Fig. 4 and
+    the exact census encoding.
+    """
+    if u > v:
+        u, v = v, u
+    k = len(subset)
+    try:
+        a = subset.index(u)
+        b = subset.index(v)
+    except ValueError as exc:
+        raise ValueError(f"pair ({u}, {v}) not inside subset {subset}") from exc
+    # Position = pairs before row a + offset within row a.
+    return a * k - a * (a + 1) // 2 + (b - a - 1)
+
+
+def pair_positions_k3(u: int, v: int, w: np.ndarray) -> np.ndarray:
+    """Vectorised row position of pair ``{u, v}`` within triples ``{u,v,w}``.
+
+    The k = 3 fast path of the subgraph sketch: for a sorted triple
+    ``a < b < c`` the rows are ``(a,b) → 0, (a,c) → 1, (b,c) → 2``, so
+    the position of ``{u, v}`` (with ``u < v``) depends only on where
+    ``w`` falls relative to ``u`` and ``v``.
+    """
+    if u > v:
+        u, v = v, u
+    w = np.asarray(w, dtype=np.int64)
+    pos = np.zeros(w.shape, dtype=np.int64)  # w > v: (u,v) is (a,b) -> 0
+    pos[(w > u) & (w < v)] = 1  # u < w < v: (u,v) is (a,c) -> 1
+    pos[w < u] = 2  # w < u: (u,v) is (b,c) -> 2
+    return pos
+
+
+def rows_for_order(k: int) -> int:
+    """Number of rows ``C(k, 2)`` of the order-k subgraph matrix."""
+    if k < 2:
+        raise NotSupportedError(f"subgraph matrices need order >= 2, got {k}")
+    return comb(k, 2)
+
+
+__all__.append("rows_for_order")

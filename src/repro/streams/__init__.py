@@ -1,0 +1,44 @@
+"""Dynamic graph stream model (Definition 1) and workload generators."""
+
+from .generators import (
+    churn_stream,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    dumbbell_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    planted_partition_graph,
+    random_weighted_edges,
+    star_graph,
+    stream_from_edges,
+    triangle_planted_graph,
+    weighted_churn_stream,
+)
+from .io import dumps_stream, loads_stream, read_stream, write_stream
+from .stream import DynamicGraphStream
+from .update import EdgeUpdate
+
+__all__ = [
+    "DynamicGraphStream",
+    "EdgeUpdate",
+    "dumps_stream",
+    "loads_stream",
+    "read_stream",
+    "write_stream",
+    "churn_stream",
+    "complete_bipartite_graph",
+    "complete_graph",
+    "cycle_graph",
+    "dumbbell_graph",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "path_graph",
+    "planted_partition_graph",
+    "random_weighted_edges",
+    "star_graph",
+    "stream_from_edges",
+    "triangle_planted_graph",
+    "weighted_churn_stream",
+]

@@ -1,0 +1,267 @@
+"""Graph and stream generators for the experiments.
+
+The paper motivates graph sketching with web graphs, IP-flow graphs and
+social networks (Section 1); the experiments (EXPERIMENTS.md) exercise
+the algorithms on synthetic families with the structural features each
+claim cares about:
+
+* **Erdős–Rényi** — the generic unstructured workload.
+* **Planted partition** — two dense communities joined by a thin cut;
+  the regime where sparsifier cut errors are most visible.
+* **Dumbbell** — two cliques joined by ``t`` parallel paths; the minimum
+  cut is exactly ``t``, making MINCUT's output checkable by design.
+* **Grid / path / cycle / complete / star / bipartite** — standard
+  shapes for spanner stretch and census tests.
+* **Triangle-planted** — ER base plus a controllable number of planted
+  triangles for the Section 4 estimator.
+
+Each ``*_graph`` function returns an edge list; ``stream_*`` helpers
+turn edge lists into dynamic streams, including churn streams where a
+fraction of edges is inserted, deleted, and possibly re-inserted —
+the insertion+deletion workloads the dynamic model exists for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import StreamError
+from ..hashing import HashSource
+from .stream import DynamicGraphStream
+from .update import EdgeUpdate
+
+__all__ = [
+    "erdos_renyi_graph",
+    "planted_partition_graph",
+    "dumbbell_graph",
+    "grid_graph",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "complete_bipartite_graph",
+    "triangle_planted_graph",
+    "random_weighted_edges",
+    "stream_from_edges",
+    "churn_stream",
+    "weighted_churn_stream",
+]
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def erdos_renyi_graph(n: int, p: float, seed: int = 0) -> list[tuple[int, int]]:
+    """G(n, p): each of the ``C(n, 2)`` edges present with probability p."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"edge probability must be in [0, 1], got {p}")
+    rng = _rng(seed)
+    iu, iv = np.triu_indices(n, k=1)
+    mask = rng.random(iu.shape[0]) < p
+    return [(int(u), int(v)) for u, v in zip(iu[mask], iv[mask])]
+
+
+def planted_partition_graph(
+    n: int, p_in: float, p_out: float, seed: int = 0
+) -> list[tuple[int, int]]:
+    """Two equal communities; within-probability ``p_in``, across ``p_out``.
+
+    With ``p_in >> p_out`` the bisection separating the communities is a
+    candidate minimum cut, stressing sparsifier accuracy exactly where
+    Theorem 3.1-style sampling must boost low-connectivity edges.
+    """
+    rng = _rng(seed)
+    half = n // 2
+    iu, iv = np.triu_indices(n, k=1)
+    same = (iu < half) == (iv < half)
+    prob = np.where(same, p_in, p_out)
+    mask = rng.random(iu.shape[0]) < prob
+    return [(int(u), int(v)) for u, v in zip(iu[mask], iv[mask])]
+
+
+def dumbbell_graph(clique: int, bridges: int) -> list[tuple[int, int]]:
+    """Two ``clique``-cliques joined by ``bridges`` disjoint direct edges.
+
+    Nodes ``0..clique-1`` and ``clique..2*clique-1`` form the bells;
+    bridge ``t`` joins node ``t`` to node ``clique + t``.  For
+    ``bridges < clique - 1`` the global minimum cut is exactly the set
+    of bridges, value ``bridges`` — a known ground truth for the MINCUT
+    experiment.
+    """
+    if bridges >= clique - 1:
+        raise ValueError("need bridges < clique - 1 for the bar to be the min cut")
+    edges: list[tuple[int, int]] = []
+    for side in (0, clique):
+        for i in range(clique):
+            for j in range(i + 1, clique):
+                edges.append((side + i, side + j))
+    for t in range(bridges):
+        edges.append((t, clique + t))
+    return edges
+
+
+def grid_graph(rows: int, cols: int) -> list[tuple[int, int]]:
+    """Axis-aligned grid; node ``(r, c)`` is ``r * cols + c``."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                edges.append((node, node + 1))
+            if r + 1 < rows:
+                edges.append((node, node + cols))
+    return edges
+
+
+def path_graph(n: int) -> list[tuple[int, int]]:
+    """Simple path ``0 - 1 - ... - n-1``."""
+    return [(i, i + 1) for i in range(n - 1)]
+
+
+def cycle_graph(n: int) -> list[tuple[int, int]]:
+    """Simple cycle on ``n`` nodes."""
+    return path_graph(n) + [(n - 1, 0)]
+
+
+def complete_graph(n: int) -> list[tuple[int, int]]:
+    """Clique ``K_n``."""
+    return [(i, j) for i in range(n) for j in range(i + 1, n)]
+
+
+def star_graph(n: int) -> list[tuple[int, int]]:
+    """Star with centre 0 and ``n - 1`` leaves."""
+    return [(0, i) for i in range(1, n)]
+
+
+def complete_bipartite_graph(a: int, b: int) -> list[tuple[int, int]]:
+    """``K_{a,b}`` with left part ``0..a-1`` and right part ``a..a+b-1``."""
+    return [(i, a + j) for i in range(a) for j in range(b)]
+
+
+def triangle_planted_graph(
+    n: int, p: float, triangles: int, seed: int = 0
+) -> list[tuple[int, int]]:
+    """ER base graph plus ``triangles`` planted vertex-disjoint triangles.
+
+    Ensures the Section 4 estimator sees a controllable signal even in
+    sparse base graphs.
+    """
+    if 3 * triangles > n:
+        raise ValueError(f"cannot plant {triangles} disjoint triangles on {n} nodes")
+    rng = _rng(seed)
+    edges = set(erdos_renyi_graph(n, p, seed=seed))
+    order = rng.permutation(n)
+    for t in range(triangles):
+        a, b, c = sorted(int(order[3 * t + i]) for i in range(3))
+        edges.update({(a, b), (a, c), (b, c)})
+    return sorted(edges)
+
+
+def random_weighted_edges(
+    n: int, p: float, max_weight: int, seed: int = 0
+) -> list[tuple[int, int, int]]:
+    """ER edges with integer weights uniform in ``[1, max_weight]``.
+
+    Weighted workloads drive Section 3.5 (weight classes ``[2^j, 2^{j+1})``).
+    """
+    rng = _rng(seed)
+    edges = erdos_renyi_graph(n, p, seed=seed)
+    weights = rng.integers(1, max_weight + 1, size=len(edges))
+    return [(u, v, int(w)) for (u, v), w in zip(edges, weights)]
+
+
+def stream_from_edges(
+    n: int, edges: list[tuple[int, int]], shuffle_seed: int | None = None
+) -> DynamicGraphStream:
+    """Insert-only stream for an edge list, optionally shuffled."""
+    stream = DynamicGraphStream.from_edges(n, edges)
+    if shuffle_seed is not None:
+        stream = stream.shuffled(shuffle_seed)
+    return stream
+
+
+def churn_stream(
+    n: int,
+    edges: list[tuple[int, int]],
+    churn_fraction: float = 0.3,
+    decoy_fraction: float = 0.3,
+    seed: int = 0,
+) -> DynamicGraphStream:
+    """A dynamic stream whose *final* graph is exactly ``edges``.
+
+    Construction:
+
+    1. insert all real edges;
+    2. insert ``decoy_fraction * len(edges)`` decoy edges **not** in the
+       final graph;
+    3. delete and re-insert ``churn_fraction`` of the real edges
+       (exercising cancellation);
+    4. delete every decoy.
+
+    Any algorithm correct only on insert-only streams fails loudly here,
+    which is the point: the paper's sketches are linear, so the sketch
+    of this stream equals the sketch of the plain insert-only stream.
+    """
+    if not 0.0 <= churn_fraction <= 1.0:
+        raise StreamError(f"churn_fraction must be in [0, 1], got {churn_fraction}")
+    if not 0.0 <= decoy_fraction <= 2.0:
+        raise StreamError(f"decoy_fraction must be in [0, 2], got {decoy_fraction}")
+    rng = _rng(seed)
+    real = {(min(u, v), max(u, v)) for u, v in edges}
+    stream = DynamicGraphStream(n)
+    for u, v in sorted(real):
+        stream.insert(u, v)
+
+    # Decoys: sample absent pairs.
+    want = int(round(decoy_fraction * len(real)))
+    decoys: list[tuple[int, int]] = []
+    attempts = 0
+    while len(decoys) < want and attempts < 50 * (want + 1):
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        attempts += 1
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in real or key in decoys:
+            continue
+        decoys.append(key)
+    for u, v in decoys:
+        stream.insert(u, v)
+
+    churned = [e for e in sorted(real) if rng.random() < churn_fraction]
+    for u, v in churned:
+        stream.delete(u, v)
+    for u, v in churned:
+        stream.insert(u, v)
+    for u, v in decoys:
+        stream.delete(u, v)
+    return stream
+
+
+def weighted_churn_stream(
+    n: int,
+    weighted_edges: list[tuple[int, int, int]],
+    churn_fraction: float = 0.3,
+    seed: int = 0,
+) -> DynamicGraphStream:
+    """Churny stream whose final multiplicities equal the given weights.
+
+    Weights are carried as multiplicities (Section 3.5 treats a weight-w
+    edge as w parallel edges).  Updates are *atomic in the weight*: a
+    churned edge is deleted with its full weight and re-inserted with
+    the same weight.  Atomicity is what lets a weight-class
+    decomposition route each token by ``floor(log2 |delta|)`` — partial
+    deltas would scatter one edge across classes.
+    """
+    rng = _rng(seed)
+    stream = DynamicGraphStream(n)
+    for u, v, w in weighted_edges:
+        if w < 1:
+            raise StreamError(f"edge weight must be >= 1, got {w} for ({u}, {v})")
+        stream.append(EdgeUpdate(u, v, w))
+    for u, v, w in weighted_edges:
+        if rng.random() < churn_fraction:
+            stream.append(EdgeUpdate(u, v, -w))
+            stream.append(EdgeUpdate(u, v, w))
+    return stream

@@ -1,0 +1,79 @@
+"""Stream persistence — a plain-text dynamic-graph-stream format.
+
+One header line ``# dynamic-graph-stream n=<N>`` followed by one token
+per line: ``<u> <v> <delta>``.  Deletions are negative deltas, exactly
+the token alphabet of Definition 1 (generalised to weighted deltas).
+Blank lines and ``#`` comments are ignored, so files are diff- and
+hand-editable; round-trips are exact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import TextIO
+
+from ..errors import StreamError
+from .stream import DynamicGraphStream
+from .update import EdgeUpdate
+
+__all__ = ["write_stream", "read_stream", "dumps_stream", "loads_stream"]
+
+_HEADER_PREFIX = "# dynamic-graph-stream n="
+
+
+def dumps_stream(stream: DynamicGraphStream) -> str:
+    """Render a stream in the text format."""
+    lines = [f"{_HEADER_PREFIX}{stream.n}"]
+    lines.extend(f"{u.u} {u.v} {u.delta}" for u in stream)
+    return "\n".join(lines) + "\n"
+
+
+def loads_stream(text: str) -> DynamicGraphStream:
+    """Parse a stream from the text format."""
+    stream: DynamicGraphStream | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(_HEADER_PREFIX):
+            if stream is not None:
+                raise StreamError(f"line {lineno}: duplicate header")
+            try:
+                n = int(line[len(_HEADER_PREFIX):])
+            except ValueError as exc:
+                raise StreamError(f"line {lineno}: bad header {line!r}") from exc
+            stream = DynamicGraphStream(n)
+            continue
+        if line.startswith("#"):
+            continue
+        if stream is None:
+            raise StreamError(f"line {lineno}: token before header")
+        parts = line.split()
+        if len(parts) != 3:
+            raise StreamError(
+                f"line {lineno}: expected '<u> <v> <delta>', got {line!r}"
+            )
+        try:
+            u, v, delta = (int(p) for p in parts)
+        except ValueError as exc:
+            raise StreamError(f"line {lineno}: non-integer token {line!r}") from exc
+        stream.append(EdgeUpdate(u, v, delta))
+    if stream is None:
+        raise StreamError("no stream header found")
+    return stream
+
+
+def write_stream(stream: DynamicGraphStream, path: str | pathlib.Path | TextIO) -> None:
+    """Write a stream to a file path or open text handle."""
+    text = dumps_stream(stream)
+    if hasattr(path, "write"):
+        path.write(text)
+    else:
+        pathlib.Path(path).write_text(text)
+
+
+def read_stream(path: str | pathlib.Path | TextIO) -> DynamicGraphStream:
+    """Read a stream from a file path or open text handle."""
+    if hasattr(path, "read"):
+        return loads_stream(path.read())
+    return loads_stream(pathlib.Path(path).read_text())

@@ -1,0 +1,203 @@
+"""Dynamic graph streams and the stream-model operations of Section 1.1.
+
+:class:`DynamicGraphStream` is an explicit, replayable sequence of
+:class:`~repro.streams.update.EdgeUpdate` tokens over a node universe
+``[0, n)``.  Replayability is how this library models multi-pass /
+adaptive-sketch access (Definition 2): each batch of an adaptive scheme
+re-consumes the same stream with freshly chosen measurements.
+
+The module also implements the distributed-stream operations the paper
+gets for free from linearity: :meth:`DynamicGraphStream.partition`
+splits a stream across sites, and sketches of the parts can be merged by
+addition (exercised in experiment E9).  :meth:`DynamicGraphStream.
+sorted_by_edge` produces the rearranged stream used by the Nisan
+derandomisation argument of Section 3.4 — the final sketch is invariant
+under the rearrangement, which is what makes the argument work.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator, Sequence
+
+from ..errors import StreamError
+from ..hashing import HashSource
+from .update import EdgeUpdate
+
+__all__ = ["DynamicGraphStream"]
+
+
+class DynamicGraphStream:
+    """A replayable dynamic graph stream over nodes ``[0, n)``.
+
+    Parameters
+    ----------
+    n:
+        Size of the node universe.
+    updates:
+        Optional initial sequence of updates (validated against ``n``).
+
+    Notes
+    -----
+    The final multigraph is defined by the *aggregate* multiplicities
+    ``A(i, j)`` (Definition 1); the model requires these to be
+    non-negative, which :meth:`multiplicities` enforces on demand and
+    :meth:`validate` checks for every prefix.
+    """
+
+    __slots__ = ("n", "_updates")
+
+    def __init__(self, n: int, updates: Iterable[EdgeUpdate] = ()):  # noqa: D107
+        if n < 2:
+            raise StreamError(f"node universe must have at least 2 nodes, got {n}")
+        self.n = n
+        self._updates: list[EdgeUpdate] = []
+        for upd in updates:
+            self.append(upd)
+
+    # -- construction ---------------------------------------------------------
+
+    def append(self, update: EdgeUpdate) -> None:
+        """Append a validated update token to the stream."""
+        update.validate_universe(self.n)
+        self._updates.append(update)
+
+    def insert(self, u: int, v: int, copies: int = 1) -> None:
+        """Append an insertion of ``copies`` parallel ``{u, v}`` edges."""
+        self.append(EdgeUpdate(u, v, copies))
+
+    def delete(self, u: int, v: int, copies: int = 1) -> None:
+        """Append a deletion of ``copies`` parallel ``{u, v}`` edges."""
+        self.append(EdgeUpdate(u, v, -copies))
+
+    @classmethod
+    def from_edges(
+        cls, n: int, edges: Iterable[tuple[int, int]]
+    ) -> "DynamicGraphStream":
+        """Insert-only stream containing each edge of ``edges`` once."""
+        stream = cls(n)
+        for u, v in edges:
+            stream.insert(u, v)
+        return stream
+
+    # -- inspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __iter__(self) -> Iterator[EdgeUpdate]:
+        return iter(self._updates)
+
+    def __getitem__(self, idx: int) -> EdgeUpdate:
+        return self._updates[idx]
+
+    @property
+    def updates(self) -> Sequence[EdgeUpdate]:
+        """Read-only view of the token sequence."""
+        return tuple(self._updates)
+
+    def multiplicities(self) -> dict[tuple[int, int], int]:
+        """Aggregate edge multiplicities ``A(i, j)`` of the final graph.
+
+        Raises :class:`StreamError` if any aggregate is negative (the
+        model forbids deleting edges that are not present) and drops
+        zero entries.
+        """
+        agg: Counter[tuple[int, int]] = Counter()
+        for upd in self._updates:
+            agg[upd.key] += upd.delta
+        bad = [(e, m) for e, m in agg.items() if m < 0]
+        if bad:
+            raise StreamError(f"negative final multiplicity for edges: {bad[:5]}")
+        return {e: m for e, m in agg.items() if m != 0}
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Edges with non-zero final multiplicity (simple-graph view)."""
+        return sorted(self.multiplicities())
+
+    def validate(self) -> None:
+        """Check that *every prefix* keeps multiplicities non-negative.
+
+        Stricter than :meth:`multiplicities`: Definition 1 only
+        constrains the final aggregate, but well-formed workloads never
+        delete an absent edge, and the generators maintain this.
+        """
+        running: Counter[tuple[int, int]] = Counter()
+        for pos, upd in enumerate(self._updates):
+            running[upd.key] += upd.delta
+            if running[upd.key] < 0:
+                raise StreamError(
+                    f"prefix multiplicity of {upd.key} negative after token {pos}"
+                )
+
+    def final_edge_count(self) -> int:
+        """Number of distinct edges in the final graph."""
+        return len(self.multiplicities())
+
+    # -- model operations (Section 1.1 / 3.4) ---------------------------------
+
+    def partition(self, sites: int, seed: int = 0) -> list["DynamicGraphStream"]:
+        """Split the stream across ``sites`` locations.
+
+        Tokens are routed by a hash of their position, modelling a
+        distributed stream: each site sees an arbitrary subsequence, and
+        the linearity of sketches guarantees that the sum of per-site
+        sketches equals the sketch of the whole stream.
+        """
+        if sites < 1:
+            raise StreamError(f"need at least one site, got {sites}")
+        source = HashSource(seed).derive(0xD15C)
+        parts = [DynamicGraphStream(self.n) for _ in range(sites)]
+        for pos, upd in enumerate(self._updates):
+            parts[int(source.bucket(pos, sites))].append(upd)
+        return parts
+
+    def interleaved_with(self, other: "DynamicGraphStream", seed: int = 0) -> "DynamicGraphStream":
+        """Randomly interleave two streams over the same universe."""
+        if other.n != self.n:
+            raise StreamError("cannot interleave streams over different universes")
+        source = HashSource(seed).derive(0x1EAF)
+        merged = DynamicGraphStream(self.n)
+        i = j = 0
+        pos = 0
+        while i < len(self._updates) or j < len(other._updates):
+            take_left = j >= len(other._updates) or (
+                i < len(self._updates) and bool(source.bernoulli(pos, 0.5))
+            )
+            if take_left:
+                merged.append(self._updates[i])
+                i += 1
+            else:
+                merged.append(other._updates[j])
+                j += 1
+            pos += 1
+        return merged
+
+    def sorted_by_edge(self) -> "DynamicGraphStream":
+        """The Section 3.4 rearrangement: group tokens of the same edge.
+
+        Nisan's PRG applies to algorithms reading random bits once; the
+        paper's trick is to analyse the algorithm on the stream sorted so
+        that all operations on an edge are consecutive, then observe the
+        sketch is order-invariant.  This method produces that sorted
+        stream so tests can verify the invariance directly.
+        """
+        order = sorted(range(len(self._updates)), key=lambda i: self._updates[i].key)
+        return DynamicGraphStream(self.n, (self._updates[i] for i in order))
+
+    def shuffled(self, seed: int = 0) -> "DynamicGraphStream":
+        """A pseudo-random permutation of the token sequence."""
+        source = HashSource(seed).derive(0x54FF)
+        keyed = sorted(
+            range(len(self._updates)), key=lambda i: int(source.hash64(i))
+        )
+        return DynamicGraphStream(self.n, (self._updates[i] for i in keyed))
+
+    def __add__(self, other: "DynamicGraphStream") -> "DynamicGraphStream":
+        """Concatenate two streams over the same universe."""
+        if other.n != self.n:
+            raise StreamError("cannot concatenate streams over different universes")
+        return DynamicGraphStream(self.n, list(self._updates) + list(other._updates))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DynamicGraphStream(n={self.n}, tokens={len(self._updates)})"

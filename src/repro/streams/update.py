@@ -1,0 +1,70 @@
+"""Edge updates — the atoms of a dynamic graph stream (Definition 1).
+
+A dynamic graph stream is a sequence of tokens
+``a_k ∈ [n] × [n] × {-1, +1}``; the multiplicity of edge ``(i, j)`` is
+the number of insertions minus the number of deletions.  We generalise
+the delta to arbitrary non-zero integers (a weight-w insertion is w unit
+insertions back to back), which the linearity of every sketch supports
+for free and which Section 3.5 (weighted graphs) uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import StreamError
+
+__all__ = ["EdgeUpdate"]
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeUpdate:
+    """A single stream token: ``delta`` copies of edge ``{u, v}``.
+
+    Attributes
+    ----------
+    u, v:
+        Endpoints, ``0 <= u, v < n`` and ``u != v``.  Stored unordered;
+        :attr:`lo`/:attr:`hi` give the canonical orientation.
+    delta:
+        Signed multiplicity change; ``+1`` is the paper's insertion
+        token, ``-1`` its deletion token.
+    """
+
+    u: int
+    v: int
+    delta: int = 1
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise StreamError(f"self-loop update ({self.u}, {self.v}) is not allowed")
+        if self.u < 0 or self.v < 0:
+            raise StreamError(f"negative node id in update ({self.u}, {self.v})")
+        if self.delta == 0:
+            raise StreamError("zero-delta update carries no information")
+
+    @property
+    def lo(self) -> int:
+        """Smaller endpoint (canonical orientation)."""
+        return self.u if self.u < self.v else self.v
+
+    @property
+    def hi(self) -> int:
+        """Larger endpoint (canonical orientation)."""
+        return self.v if self.u < self.v else self.u
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """Canonical unordered edge key ``(lo, hi)``."""
+        return (self.lo, self.hi)
+
+    def inverse(self) -> "EdgeUpdate":
+        """The update cancelling this one (same edge, negated delta)."""
+        return EdgeUpdate(self.u, self.v, -self.delta)
+
+    def validate_universe(self, n: int) -> None:
+        """Check both endpoints lie in ``[0, n)``."""
+        if self.hi >= n:
+            raise StreamError(
+                f"update ({self.u}, {self.v}) outside node universe [0, {n})"
+            )

@@ -1,0 +1,37 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import Graph
+from repro.hashing import HashSource
+from repro.streams import DynamicGraphStream, churn_stream, erdos_renyi_graph
+
+
+@pytest.fixture
+def source() -> HashSource:
+    """A fixed-seed hash source; tests derive children as needed."""
+    return HashSource(0xC0FFEE)
+
+
+@pytest.fixture
+def small_graph() -> Graph:
+    """A 10-node connected graph with a pendant vertex and a triangle."""
+    return Graph.from_edges(
+        10,
+        [
+            (0, 1), (1, 2), (2, 0),          # triangle
+            (2, 3), (3, 4), (4, 5), (5, 6),  # path
+            (6, 7), (7, 8), (8, 6),          # second triangle
+            (8, 9),                          # pendant
+        ],
+    )
+
+
+@pytest.fixture
+def er_workload() -> tuple[Graph, DynamicGraphStream]:
+    """An Erdős–Rényi graph plus a churny dynamic stream ending at it."""
+    n = 20
+    edges = erdos_renyi_graph(n, 0.35, seed=11)
+    return Graph.from_edges(n, edges), churn_stream(n, edges, seed=12)

@@ -1,0 +1,150 @@
+"""Tests for the baseline algorithms (Karger, Fung, Buriol, offline BS)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    BuriolTriangleEstimator,
+    baswana_sen_offline,
+    exact_gamma,
+    exact_min_cut,
+    exact_triangles,
+    fung_sample_probabilities,
+    fung_sparsify,
+    graph_from_stream,
+    karger_sample_probability,
+    karger_sparsify,
+)
+from repro.core import TRIANGLE, cut_approximation_report
+from repro.errors import StreamError
+from repro.graphs import Graph, measure_stretch, triangle_count
+from repro.streams import (
+    churn_stream,
+    complete_graph,
+    dumbbell_graph,
+    erdos_renyi_graph,
+    path_graph,
+    stream_from_edges,
+    triangle_planted_graph,
+)
+
+
+class TestKarger:
+    def test_probability_depends_on_min_cut(self):
+        weak = Graph.from_edges(16, dumbbell_graph(8, 1))
+        strong = Graph.from_edges(10, complete_graph(10))
+        assert karger_sample_probability(weak, 0.5) == 1.0
+        # The paper constant keeps p at 1 for laptop-scale λ; scale it
+        # down (as the experiments do) to see the λ-dependence.
+        assert karger_sample_probability(strong, 0.5, c=0.5) < 1.0
+
+    def test_sparsifier_quality(self):
+        g = Graph.from_edges(20, erdos_renyi_graph(20, 0.8, seed=1))
+        sp = karger_sparsify(g, epsilon=0.5, c=3.0, seed=2)
+        rep = cut_approximation_report(g, sp, sample_cuts=100)
+        assert rep.max_relative_error < 1.0
+
+    def test_keeps_everything_at_p_one(self):
+        g = Graph.from_edges(8, path_graph(8))
+        sp = karger_sparsify(g, epsilon=0.5, seed=3)
+        assert sorted(sp.graph.weighted_edges()) == sorted(g.weighted_edges())
+
+    def test_rejects_bad_epsilon(self):
+        g = Graph.from_edges(4, path_graph(4))
+        with pytest.raises(ValueError):
+            karger_sample_probability(g, 0.0)
+
+
+class TestFung:
+    def test_probabilities_inverse_to_connectivity(self):
+        g = Graph.from_edges(16, dumbbell_graph(8, 2))
+        probs = fung_sample_probabilities(g, epsilon=0.5, c=0.3)
+        bridge_p = probs[(0, 8)]
+        clique_p = probs[(0, 1)]
+        assert bridge_p >= clique_p
+
+    def test_low_connectivity_edges_always_kept(self):
+        g = Graph.from_edges(10, path_graph(10))
+        probs = fung_sample_probabilities(g, epsilon=0.5)
+        assert all(p == 1.0 for p in probs.values())
+
+    def test_sparsifier_quality(self):
+        g = Graph.from_edges(20, erdos_renyi_graph(20, 0.8, seed=4))
+        sp = fung_sparsify(g, epsilon=0.5, c=1.0, seed=5)
+        rep = cut_approximation_report(g, sp, sample_cuts=100)
+        assert rep.max_relative_error < 0.6
+
+
+class TestBuriol:
+    def test_exact_on_dense_triangle_graph(self):
+        n = 20
+        edges = complete_graph(n)
+        g = Graph.from_edges(n, edges)
+        est = BuriolTriangleEstimator(n, samplers=600, seed=6).consume(
+            stream_from_edges(n, edges)
+        ).estimate()
+        truth = triangle_count(g)
+        assert abs(est.triangles - truth) / truth < 0.5
+
+    def test_zero_triangles(self):
+        n = 12
+        est = BuriolTriangleEstimator(n, samplers=100, seed=7).consume(
+            stream_from_edges(n, path_graph(n))
+        ).estimate()
+        assert est.triangles == 0.0
+
+    def test_rejects_deletions(self):
+        """The gap the paper's sketch closes: insert-only baselines break."""
+        n = 10
+        st = churn_stream(n, erdos_renyi_graph(n, 0.5, seed=8), seed=9)
+        assert any(u.delta < 0 for u in st)
+        with pytest.raises(StreamError):
+            BuriolTriangleEstimator(n, samplers=10, seed=10).consume(st)
+
+    def test_rejects_self_loop(self):
+        est = BuriolTriangleEstimator(5, samplers=4, seed=11)
+        with pytest.raises(StreamError):
+            est.update(2, 2)
+
+    def test_rejects_bad_samplers(self):
+        with pytest.raises(ValueError):
+            BuriolTriangleEstimator(5, samplers=0)
+
+
+class TestOfflineBaswanaSen:
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_stretch_bound(self, k):
+        n = 30
+        g = Graph.from_edges(n, erdos_renyi_graph(n, 0.4, seed=12))
+        spanner = baswana_sen_offline(g, k=k, seed=13)
+        rep = measure_stretch(g, spanner)
+        assert rep.disconnected_pairs == 0
+        assert rep.max_stretch <= 2 * k - 1
+
+    def test_compresses_dense_graphs(self):
+        n = 24
+        g = Graph.from_edges(n, complete_graph(n))
+        spanner = baswana_sen_offline(g, k=3, seed=14)
+        assert spanner.num_edges() < g.num_edges()
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            baswana_sen_offline(Graph(5), k=1)
+
+
+class TestExactWrappers:
+    def test_graph_from_stream(self):
+        st = stream_from_edges(6, path_graph(6))
+        g = graph_from_stream(st)
+        assert sorted(g.edges()) == path_graph(6)
+
+    def test_exact_min_cut(self):
+        st = stream_from_edges(12, dumbbell_graph(6, 2))
+        assert exact_min_cut(st) == 2.0
+
+    def test_exact_triangles_and_gamma(self):
+        edges = triangle_planted_graph(15, 0.0, 3, seed=15)
+        st = stream_from_edges(15, edges)
+        assert exact_triangles(st) == 3
+        assert exact_gamma(st, TRIANGLE) > 0

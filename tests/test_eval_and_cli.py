@@ -1,0 +1,124 @@
+"""Tests for the eval harness (tables, metrics, workloads, runners) and CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.eval import (
+    EXPERIMENTS,
+    Table,
+    WORKLOADS,
+    make_workload,
+    relative_error,
+    run_experiment,
+    summarize,
+)
+
+
+class TestTable:
+    def test_render_contains_rows(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_row("x", True)
+        out = t.render()
+        assert "### demo" in out
+        assert "| a" in out
+        assert "2.5" in out
+        assert "yes" in out
+
+    def test_row_width_mismatch(self):
+        t = Table("demo", ["a"])
+        with pytest.raises(ValueError):
+            t.add_row(1, 2)
+
+    def test_notes_rendered(self):
+        t = Table("demo", ["a"])
+        t.add_row(1)
+        t.add_note("caveat")
+        assert "> caveat" in t.render()
+
+    def test_float_formatting(self):
+        t = Table("demo", ["v"])
+        t.add_row(0.000001)
+        t.add_row(123456.0)
+        t.add_row(0.25)
+        out = t.render()
+        assert "1e-06" in out
+        assert "0.25" in out
+
+
+class TestMetrics:
+    def test_relative_error(self):
+        assert relative_error(11, 10) == pytest.approx(0.1)
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(1, 0) == float("inf")
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.median == 2.0
+        assert s.maximum == 3.0
+        assert s.runs == 3
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_workload_consistency(self, name):
+        """Every workload's stream must end exactly at its graph."""
+        wl = make_workload(name, seed=1)
+        wl.stream.validate()
+        from repro.baselines import graph_from_stream
+
+        assert graph_from_stream(wl.stream) == wl.graph
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            make_workload("nope")
+
+    def test_seeds_change_workload(self):
+        a = make_workload("er-small", seed=1)
+        b = make_workload("er-small", seed=2)
+        assert sorted(a.graph.edges()) != sorted(b.graph.edges())
+
+
+class TestExperimentRunners:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 11)}
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("e99")
+
+    @pytest.mark.parametrize("exp_id", ["e8", "e9"])
+    def test_fast_experiments_produce_rows(self, exp_id):
+        table = run_experiment(exp_id, quick=True, seed=0)
+        assert table.rows
+        assert table.columns
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "e1" in out and "workloads" in out
+
+    def test_run_e9(self, capsys):
+        assert main(["run", "e9"]) == 0
+        out = capsys.readouterr().out
+        assert "E9" in out and "completed" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCliDemo:
+    def test_demo_runs_end_to_end(self, capsys):
+        assert main(["demo", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "min cut" in out and "spanner" in out

@@ -1,0 +1,421 @@
+"""Tests for repro.graphs: Graph, flows, cuts, Gomory-Hu, census, spanners."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Graph,
+    MaxFlow,
+    all_edge_connectivities,
+    all_pairs_distances,
+    bfs_distances,
+    brute_force_min_cut,
+    census,
+    connected_components,
+    count_nonempty_subgraphs,
+    count_pattern,
+    diameter,
+    dijkstra,
+    edge_connectivity,
+    gamma_exact,
+    global_min_cut_value,
+    gomory_hu_tree,
+    induced_edge_pattern,
+    is_connected,
+    is_k_edge_connected,
+    is_spanner,
+    measure_stretch,
+    min_st_cut,
+    sparse_certificate,
+    spanning_forest,
+    stoer_wagner,
+    triangle_count,
+    verify_subgraph,
+    wedge_count,
+)
+from repro.streams import (
+    complete_graph,
+    cycle_graph,
+    dumbbell_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+)
+
+
+class TestGraphBasics:
+    def test_add_and_query(self):
+        g = Graph(4)
+        g.add_edge(0, 1, 2.0)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.weight(0, 1) == 2.0
+        assert g.weight(2, 3) == 0.0
+
+    def test_add_accumulates_and_cancels(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 2.0)
+        g.add_edge(0, 1, 3.0)
+        assert g.weight(0, 1) == 5.0
+        g.add_edge(0, 1, -5.0)
+        assert not g.has_edge(0, 1)
+
+    def test_set_edge(self):
+        g = Graph(3)
+        g.set_edge(0, 1, 4.0)
+        g.set_edge(0, 1, 1.5)
+        assert g.weight(0, 1) == 1.5
+        g.set_edge(0, 1, 0.0)
+        assert not g.has_edge(0, 1)
+
+    def test_remove_edge(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        g.remove_edge(0, 1)
+        assert g.num_edges() == 0
+        with pytest.raises(GraphError):
+            g.remove_edge(0, 1)
+
+    def test_rejects_self_loop(self):
+        g = Graph(3)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_rejects_out_of_universe(self):
+        g = Graph(3)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 3)
+
+    def test_degree_and_weighted_degree(self):
+        g = Graph.from_weighted_edges(4, [(0, 1, 2.0), (0, 2, 3.0)])
+        assert g.degree(0) == 2
+        assert g.weighted_degree(0) == 5.0
+        assert g.degree(3) == 0
+
+    def test_edges_iteration_canonical(self):
+        g = Graph.from_edges(4, [(3, 1), (2, 0)])
+        assert sorted(g.edges()) == [(0, 2), (1, 3)]
+
+    def test_cut_value(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert g.cut_value({0}) == 2.0
+        assert g.cut_value({0, 1}) == 2.0
+        assert g.cut_value({0, 2}) == 4.0
+
+    def test_from_multiplicities(self):
+        g = Graph.from_multiplicities(3, {(0, 1): 3, (1, 2): 0})
+        assert g.weight(0, 1) == 3.0
+        assert not g.has_edge(1, 2)
+        with pytest.raises(GraphError):
+            Graph.from_multiplicities(3, {(0, 1): -1})
+
+    def test_copy_and_eq(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        h = g.copy()
+        assert g == h
+        h.add_edge(0, 2)
+        assert g != h
+
+    def test_subgraph_on_edges(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        sub = g.subgraph_on_edges([(0, 1)])
+        assert sub.num_edges() == 1
+        with pytest.raises(GraphError):
+            g.subgraph_on_edges([(0, 3)])
+
+    def test_total_weight(self):
+        g = Graph.from_weighted_edges(3, [(0, 1, 2.5), (1, 2, 1.5)])
+        assert g.total_weight() == 4.0
+
+
+class TestMaxFlow:
+    def test_path_flow_is_bottleneck(self):
+        g = Graph.from_weighted_edges(4, [(0, 1, 5), (1, 2, 2), (2, 3, 4)])
+        assert min_st_cut(g, 0, 3) == 2.0
+
+    def test_parallel_paths_add(self):
+        g = Graph.from_weighted_edges(
+            4, [(0, 1, 1), (1, 3, 1), (0, 2, 2), (2, 3, 2)]
+        )
+        assert min_st_cut(g, 0, 3) == 3.0
+
+    def test_disconnected_zero(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert min_st_cut(g, 0, 3) == 0.0
+
+    def test_min_cut_side_is_certificate(self):
+        g = Graph.from_edges(16, dumbbell_graph(8, 2))
+        value, side = MaxFlow(g).min_cut_side(0, 8)
+        assert value == 2.0
+        assert g.cut_value(side) == 2.0
+        assert 0 in side and 8 not in side
+
+    def test_same_terminals_rejected(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            min_st_cut(g, 1, 1)
+
+    def test_flow_reusable_across_terminal_pairs(self):
+        g = Graph.from_edges(6, cycle_graph(6))
+        flow = MaxFlow(g)
+        assert flow.max_flow(0, 3) == 2.0
+        assert flow.max_flow(1, 4) == 2.0
+        assert flow.max_flow(0, 3) == 2.0  # unchanged after reuse
+
+    def test_negative_capacity_rejected(self):
+        g = Graph(3)
+        g.add_edge(0, 1, -2.0)
+        with pytest.raises(GraphError):
+            MaxFlow(g)
+
+
+class TestGlobalMinCut:
+    def test_matches_brute_force_on_random_graphs(self):
+        for seed in range(8):
+            g = Graph.from_edges(10, erdos_renyi_graph(10, 0.45, seed=seed))
+            sw, side = stoer_wagner(g)
+            bf, _ = brute_force_min_cut(g)
+            assert sw == bf
+            if sw > 0:
+                assert g.cut_value(side) == sw
+
+    def test_dumbbell(self):
+        g = Graph.from_edges(12, dumbbell_graph(6, 3))
+        assert global_min_cut_value(g) == 3.0
+
+    def test_disconnected_graph(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        value, side = stoer_wagner(g)
+        assert value == 0.0
+        assert g.cut_value(side) == 0.0
+
+    def test_weighted(self):
+        g = Graph.from_weighted_edges(3, [(0, 1, 5), (1, 2, 0.5), (0, 2, 1)])
+        assert global_min_cut_value(g) == 1.5
+
+    def test_brute_force_size_guard(self):
+        g = Graph.from_edges(25, path_graph(25))
+        with pytest.raises(GraphError):
+            brute_force_min_cut(g)
+
+    def test_edge_connectivity_values(self):
+        g = Graph.from_edges(12, dumbbell_graph(6, 2))
+        assert edge_connectivity(g, 0, 6) == 2.0  # across the bar
+        assert edge_connectivity(g, 0, 1) == 6.0  # inside a clique (5 + bridge path)
+
+    def test_all_edge_connectivities(self):
+        g = Graph.from_edges(5, cycle_graph(5))
+        lam = all_edge_connectivities(g)
+        assert all(v == 2.0 for v in lam.values())
+        assert len(lam) == 5
+
+
+class TestGomoryHu:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_pairwise_values_match_maxflow(self, seed):
+        g = Graph.from_edges(10, erdos_renyi_graph(10, 0.4, seed=seed))
+        tree = gomory_hu_tree(g)
+        flow = MaxFlow(g)
+        for u in range(10):
+            for v in range(u + 1, 10):
+                assert tree.min_cut_value(u, v) == pytest.approx(
+                    flow.max_flow(u, v)
+                )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_tree_edges_induce_minimum_cuts(self, seed):
+        """The property Gusfield's variant lacks and Fig. 3 requires."""
+        g = Graph.from_edges(10, erdos_renyi_graph(10, 0.4, seed=seed))
+        tree = gomory_hu_tree(g)
+        for a, b, w in tree.tree_edges():
+            side = tree.induced_cut_side(a, b)
+            assert g.cut_value(side) == pytest.approx(w)
+            assert a in side and b not in side
+
+    def test_bottleneck_edge_separates_endpoints(self):
+        g = Graph.from_edges(12, dumbbell_graph(6, 2))
+        tree = gomory_hu_tree(g)
+        a, b, w = tree.min_weight_edge_on_path(0, 7)
+        assert w == 2.0
+        side = tree.induced_cut_side(a, b)
+        assert (0 in side) != (7 in side)
+
+    def test_weighted_graph(self):
+        g = Graph.from_weighted_edges(
+            5, [(0, 1, 3.0), (1, 2, 1.0), (2, 3, 2.5), (3, 4, 4.0), (0, 4, 1.5)]
+        )
+        tree = gomory_hu_tree(g)
+        flow = MaxFlow(g)
+        for u in range(5):
+            for v in range(u + 1, 5):
+                assert tree.min_cut_value(u, v) == pytest.approx(flow.max_flow(u, v))
+
+    def test_disconnected(self):
+        g = Graph.from_edges(5, [(0, 1), (2, 3)])
+        tree = gomory_hu_tree(g)
+        assert tree.min_cut_value(0, 2) == 0.0
+        assert tree.min_cut_value(2, 3) == 1.0
+
+    def test_same_edge(self):
+        g = Graph.from_edges(4, path_graph(4))
+        tree = gomory_hu_tree(g)
+        e = tree.tree_edges()[0]
+        assert tree.same_edge(e, (e[1], e[0], e[2]))
+        assert not tree.same_edge(e, (e[0], e[0] + 99, e[2]))
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(GraphError):
+            gomory_hu_tree(Graph(1))
+
+
+class TestConnectivity:
+    def test_components(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (4, 5)])
+        comps = connected_components(g)
+        assert {frozenset(c) for c in comps} == {
+            frozenset({0, 1, 2}),
+            frozenset({3}),
+            frozenset({4, 5}),
+        }
+        assert not is_connected(g)
+
+    def test_spanning_forest_size(self):
+        g = Graph.from_edges(8, cycle_graph(8))
+        forest = spanning_forest(g)
+        assert len(forest) == 7
+
+    def test_sparse_certificate_preserves_small_cuts(self):
+        g = Graph.from_edges(16, dumbbell_graph(8, 2))
+        cert = sparse_certificate(g, 3)
+        # All bridge edges must be present and the min cut preserved.
+        assert cert.has_edge(0, 8) and cert.has_edge(1, 9)
+        assert global_min_cut_value(cert) == 2.0
+        assert cert.num_edges() <= 3 * 15
+
+    def test_certificate_edge_budget(self):
+        g = Graph.from_edges(12, complete_graph(12))
+        cert = sparse_certificate(g, 4)
+        assert cert.num_edges() <= 4 * 11
+
+    def test_is_k_edge_connected(self):
+        g = Graph.from_edges(6, complete_graph(6))
+        assert is_k_edge_connected(g, 5)
+        assert not is_k_edge_connected(g, 6)
+        path = Graph.from_edges(4, path_graph(4))
+        assert is_k_edge_connected(path, 1)
+        assert not is_k_edge_connected(path, 2)
+
+    def test_certificate_rejects_bad_k(self):
+        with pytest.raises(GraphError):
+            sparse_certificate(Graph(3), 0)
+
+
+class TestDistances:
+    def test_bfs_on_path(self):
+        g = Graph.from_edges(5, path_graph(5))
+        assert bfs_distances(g, 0) == [0, 1, 2, 3, 4]
+
+    def test_bfs_unreachable_is_inf(self):
+        g = Graph.from_edges(4, [(0, 1)])
+        d = bfs_distances(g, 0)
+        assert math.isinf(d[2]) and math.isinf(d[3])
+
+    def test_dijkstra_weighted(self):
+        g = Graph.from_weighted_edges(4, [(0, 1, 5), (0, 2, 1), (2, 1, 1), (1, 3, 1)])
+        assert dijkstra(g, 0) == [0, 2, 1, 3]
+
+    def test_dijkstra_rejects_negative(self):
+        g = Graph.from_weighted_edges(3, [(0, 1, -1)])
+        with pytest.raises(GraphError):
+            dijkstra(g, 0)
+
+    def test_all_pairs_symmetry(self):
+        g = Graph.from_edges(9, grid_graph(3, 3))
+        d = all_pairs_distances(g)
+        for u in range(9):
+            for v in range(9):
+                assert d[u][v] == d[v][u]
+
+    def test_diameter(self):
+        assert diameter(Graph.from_edges(6, path_graph(6))) == 5
+        assert diameter(Graph.from_edges(6, complete_graph(6))) == 1
+
+    def test_bad_source(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            bfs_distances(g, 3)
+
+
+class TestCensus:
+    def test_triangle_pattern_mask(self, small_graph):
+        assert induced_edge_pattern(small_graph, (0, 1, 2)) == 7
+        assert induced_edge_pattern(small_graph, (0, 1, 5)) == 1
+
+    def test_census_totals(self, small_graph):
+        counts = census(small_graph, 3)
+        assert sum(counts.values()) == math.comb(10, 3)
+
+    def test_census_triangles_match_direct_count(self, small_graph):
+        counts = census(small_graph, 3)
+        assert counts.get(7, 0) == triangle_count(small_graph) == 2
+
+    def test_nonempty_count(self, small_graph):
+        counts = census(small_graph, 3)
+        assert count_nonempty_subgraphs(small_graph, 3) == sum(
+            c for m, c in counts.items() if m
+        )
+
+    def test_gamma_exact_bounds(self, small_graph):
+        gamma = gamma_exact(small_graph, frozenset({7}), 3)
+        assert 0.0 <= gamma <= 1.0
+
+    def test_gamma_empty_graph(self):
+        assert gamma_exact(Graph(5), frozenset({7}), 3) == 0.0
+
+    def test_count_pattern(self, small_graph):
+        assert count_pattern(small_graph, frozenset({7}), 3) == 2
+
+    def test_wedge_count_formula(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert wedge_count(g) == 3
+
+    def test_census_order_guard(self, small_graph):
+        from repro.errors import NotSupportedError
+
+        with pytest.raises(NotSupportedError):
+            census(small_graph, 6)
+
+
+class TestSpannerVerification:
+    def test_graph_is_spanner_of_itself(self, small_graph):
+        assert is_spanner(small_graph, small_graph, 1.0)
+
+    def test_subgraph_check(self, small_graph):
+        bad = Graph(10)
+        bad.add_edge(0, 9)
+        with pytest.raises(GraphError):
+            verify_subgraph(small_graph, bad)
+
+    def test_stretch_of_spanning_tree_of_cycle(self):
+        g = Graph.from_edges(8, cycle_graph(8))
+        tree = Graph.from_edges(8, path_graph(8))
+        rep = measure_stretch(g, tree)
+        assert rep.max_stretch == 7.0
+        assert rep.disconnected_pairs == 0
+        assert rep.spanner_edges == 7
+
+    def test_disconnection_detected(self):
+        g = Graph.from_edges(4, path_graph(4))
+        partial = Graph(4)
+        partial.add_edge(0, 1)
+        rep = measure_stretch(g, partial)
+        assert rep.disconnected_pairs > 0
+        assert math.isinf(rep.max_stretch)
+        assert not rep.satisfies(100.0)
+
+    def test_sampled_sources(self, small_graph):
+        rep = measure_stretch(small_graph, small_graph, sample_pairs=4, seed=1)
+        assert rep.max_stretch == 1.0
+        assert rep.pairs_evaluated <= 4 * 9
