@@ -1,0 +1,91 @@
+"""Ingestion throughput — columnar batched ``consume`` vs per-token ``update``.
+
+The columnar engine (``DynamicGraphStream.as_batch`` + the sketches'
+``consume_batch``) exists to make stream ingestion scale with numpy
+scatter throughput instead of Python token overhead.  These benchmarks
+time both paths on the standard workload for the two consumers the
+refactor targets hardest — ``EdgeConnectivitySketch`` (k forest groups)
+and ``SimpleSparsification`` (a whole subsampling hierarchy) — and
+assert the batched path is at least 2× faster than the per-token
+reference implementation.  Equivalence of the two paths is pinned
+byte-for-byte by ``tests/test_batch_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from conftest import print_table
+
+from repro.core import EdgeConnectivitySketch, SimpleSparsification
+from repro.eval import Table, make_workload
+from repro.hashing import HashSource
+
+
+def _time_once(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _speedup(make_sketch, stream) -> tuple[float, float, float]:
+    """(token_seconds, batched_seconds, speedup) for one consume run."""
+    reference = make_sketch()
+
+    def tokenwise():
+        for upd in stream:
+            reference.update(upd)
+
+    token_s = _time_once(tokenwise)
+    batched_sketch = make_sketch()
+    batched_s = _time_once(lambda: batched_sketch.consume(stream))
+    return token_s, batched_s, token_s / batched_s
+
+
+@pytest.fixture(scope="module")
+def ingest_table():
+    table = Table(
+        "INGEST: columnar batched consume vs per-token update (reference)",
+        ["consumer", "tokens", "token-path s", "batched s", "speedup"],
+    )
+    yield table
+    print_table(table, name="ingest")
+
+
+def test_bench_ingest_edge_connect(benchmark, seed, ingest_table):
+    wl = make_workload("er-small", seed=seed)
+    n = wl.graph.n
+    make = lambda: EdgeConnectivitySketch(n, 4, HashSource(seed + 1))  # noqa: E731
+    token_s, batched_s, speedup = _speedup(make, wl.stream)
+    ingest_table.add_row(
+        "EdgeConnectivitySketch.consume", len(wl.stream), token_s, batched_s,
+        speedup,
+    )
+    assert speedup >= 2.0, f"batched ingest only {speedup:.1f}x faster"
+    benchmark.pedantic(
+        lambda: EdgeConnectivitySketch(n, 4, HashSource(seed + 1)).consume(
+            wl.stream
+        ),
+        rounds=3, iterations=1,
+    )
+
+
+def test_bench_ingest_simple_sparsify(benchmark, seed, ingest_table):
+    wl = make_workload("er-small", seed=seed)
+    n = wl.graph.n
+    make = lambda: SimpleSparsification(  # noqa: E731
+        n, epsilon=0.5, source=HashSource(seed + 2), c_k=0.3
+    )
+    token_s, batched_s, speedup = _speedup(make, wl.stream)
+    ingest_table.add_row(
+        "SimpleSparsification.consume", len(wl.stream), token_s, batched_s,
+        speedup,
+    )
+    assert speedup >= 2.0, f"batched ingest only {speedup:.1f}x faster"
+    benchmark.pedantic(
+        lambda: SimpleSparsification(
+            n, epsilon=0.5, source=HashSource(seed + 2), c_k=0.3
+        ).consume(wl.stream),
+        rounds=3, iterations=1,
+    )

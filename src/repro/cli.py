@@ -34,7 +34,16 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     from .eval import EXPERIMENTS, run_experiment
 
-    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    requested = args.experiment.lower()
+    if requested != "all" and requested not in EXPERIMENTS:
+        valid = ", ".join(sorted(EXPERIMENTS))
+        print(
+            f"error: unknown experiment {args.experiment!r} "
+            f"(choose from {valid}, or 'all')",
+            file=sys.stderr,
+        )
+        return 2
+    ids = sorted(EXPERIMENTS) if requested == "all" else [requested]
     for exp_id in ids:
         t0 = time.perf_counter()
         table = run_experiment(exp_id, quick=not args.full, seed=args.seed)

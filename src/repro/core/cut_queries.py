@@ -21,7 +21,7 @@ import numpy as np
 from ..errors import RecoveryFailed
 from ..hashing import HashSource
 from ..sketch import SparseRecoveryBank
-from ..streams import DynamicGraphStream, EdgeUpdate
+from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
 from ..util import pair_count, pair_unrank
 
 __all__ = ["CutEdgesSketch"]
@@ -74,18 +74,20 @@ class CutEdgesSketch:
         """Feed an entire stream (single pass), vectorised."""
         if stream.n != self.n:
             raise ValueError("stream and sketch node universes differ")
-        m = len(stream)
+        return self.consume_batch(stream.as_batch())
+
+    def consume_batch(self, batch: StreamBatch) -> "CutEdgesSketch":
+        """Ingest one columnar batch (both signed endpoint rows at once)."""
+        if batch.n != self.n:
+            raise ValueError("batch and sketch node universes differ")
+        m = len(batch)
         if m == 0:
             return self
-        lo = np.fromiter((u.lo for u in stream), dtype=np.int64, count=m)
-        hi = np.fromiter((u.hi for u in stream), dtype=np.int64, count=m)
-        dl = np.fromiter((u.delta for u in stream), dtype=np.int64, count=m)
-        e = lo * self.n - lo * (lo + 1) // 2 + (hi - lo - 1)
         self.bank.update(
             np.zeros(2 * m, dtype=np.int64),
-            np.concatenate([lo, hi]),
-            np.concatenate([e, e]),
-            np.concatenate([dl, -dl]),
+            np.concatenate([batch.lo, batch.hi]),
+            np.concatenate([batch.ranks, batch.ranks]),
+            np.concatenate([batch.delta, -batch.delta]),
         )
         return self
 

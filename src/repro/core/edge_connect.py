@@ -24,7 +24,8 @@ import numpy as np
 
 from ..graphs import Graph
 from ..hashing import HashSource
-from ..streams import DynamicGraphStream, EdgeUpdate
+from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
+from ..util import pair_rank_array
 from .forest import SpanningForestSketch
 
 __all__ = ["EdgeConnectivitySketch"]
@@ -74,16 +75,28 @@ class EdgeConnectivitySketch:
             group.update(update)
 
     def update_edges(
-        self, lo: np.ndarray, hi: np.ndarray, deltas: np.ndarray
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        deltas: np.ndarray,
+        items: np.ndarray | None = None,
     ) -> None:
         """Vectorised bulk update of canonical edges."""
+        if items is None and len(self.groups) > 1:
+            items = pair_rank_array(lo, hi, self.n)
         for group in self.groups:
-            group.update_edges(lo, hi, deltas)
+            group.update_edges(lo, hi, deltas, items=items)
 
     def consume(self, stream: DynamicGraphStream) -> "EdgeConnectivitySketch":
         """Feed an entire stream (single pass)."""
+        if stream.n != self.n:
+            raise ValueError("stream and sketch node universes differ")
+        return self.consume_batch(stream.as_batch())
+
+    def consume_batch(self, batch: StreamBatch) -> "EdgeConnectivitySketch":
+        """Ingest one columnar batch into every group (no re-conversion)."""
         for group in self.groups:
-            group.consume(stream)
+            group.consume_batch(batch)
         return self
 
     def merge(self, other: "EdgeConnectivitySketch") -> None:

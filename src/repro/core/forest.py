@@ -28,8 +28,8 @@ from ..errors import SamplerFailed
 from ..graphs import UnionFind
 from ..hashing import HashSource
 from ..sketch import L0SamplerBank
-from ..streams import DynamicGraphStream, EdgeUpdate
-from ..util import ceil_log2, pair_unrank
+from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
+from ..util import ceil_log2, pair_rank_array, pair_unrank
 from .incidence import edge_domain
 
 __all__ = ["SpanningForestSketch"]
@@ -87,20 +87,51 @@ class SpanningForestSketch:
             np.array([update.delta], dtype=np.int64),
         )
 
+    #: Edges per scatter block — bounds the peak memory of the
+    #: ``2 * rounds`` row expansion for arbitrarily large bulk updates.
+    _CHUNK = 65536
+
     def update_edges(
-        self, lo: np.ndarray, hi: np.ndarray, deltas: np.ndarray
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        deltas: np.ndarray,
+        items: np.ndarray | None = None,
     ) -> None:
         """Vectorised bulk update of canonical edges ``(lo < hi)``.
 
         Expands each edge into ``2 * rounds`` sampler rows (two signed
-        endpoints × every family) in one scatter.
+        endpoints × every family), chunked so peak memory stays bounded
+        for any batch size.  ``items`` may carry the precomputed pair
+        ranks (a :class:`StreamBatch` has them); when omitted they are
+        derived from the endpoints.
         """
         lo = np.asarray(lo, dtype=np.int64)
         hi = np.asarray(hi, dtype=np.int64)
         deltas = np.asarray(deltas, dtype=np.int64)
         if lo.size == 0:
             return
-        items = lo * self.n - lo * (lo + 1) // 2 + (hi - lo - 1)
+        if items is None:
+            items = pair_rank_array(lo, hi, self.n)
+        else:
+            items = np.asarray(items, dtype=np.int64)
+        if lo.size > self._CHUNK:
+            for start in range(0, lo.size, self._CHUNK):
+                end = start + self._CHUNK
+                self._update_edges_block(
+                    lo[start:end], hi[start:end], deltas[start:end],
+                    items[start:end],
+                )
+            return
+        self._update_edges_block(lo, hi, deltas, items)
+
+    def _update_edges_block(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        deltas: np.ndarray,
+        items: np.ndarray,
+    ) -> None:
         m = lo.size
         t = self.rounds
         fams = np.tile(np.repeat(self._round_ids, 2), m)
@@ -114,17 +145,13 @@ class SpanningForestSketch:
         """Feed an entire stream (single pass); returns self for chaining."""
         if stream.n != self.n:
             raise ValueError("stream and sketch node universes differ")
-        lo = np.fromiter((u.lo for u in stream), dtype=np.int64, count=len(stream))
-        hi = np.fromiter((u.hi for u in stream), dtype=np.int64, count=len(stream))
-        dl = np.fromiter((u.delta for u in stream), dtype=np.int64, count=len(stream))
-        # Feed in chunks to bound peak memory of the level expansion.
-        chunk = 65536
-        for start in range(0, lo.size, chunk):
-            self.update_edges(
-                lo[start : start + chunk],
-                hi[start : start + chunk],
-                dl[start : start + chunk],
-            )
+        return self.consume_batch(stream.as_batch())
+
+    def consume_batch(self, batch: StreamBatch) -> "SpanningForestSketch":
+        """Ingest a columnar batch (shared across sketches/levels)."""
+        if batch.n != self.n:
+            raise ValueError("batch and sketch node universes differ")
+        self.update_edges(batch.lo, batch.hi, batch.delta, items=batch.ranks)
         return self
 
     def merge(self, other: "SpanningForestSketch") -> None:

@@ -29,7 +29,7 @@ import numpy as np
 
 from ..graphs import Graph, global_min_cut_value
 from ..hashing import HashSource
-from ..streams import DynamicGraphStream, EdgeUpdate
+from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
 from ..util import ceil_log2
 from .edge_connect import EdgeConnectivitySketch
 
@@ -137,22 +137,29 @@ class MinCutSketch:
     def consume(self, stream: DynamicGraphStream) -> "MinCutSketch":
         """Feed an entire stream (single pass).
 
-        Updates are batched per level so each ``k-EDGECONNECT`` instance
-        receives one vectorised scatter per chunk instead of per token.
+        Pulls the stream's shared columnar batch and routes it per level
+        so each ``k-EDGECONNECT`` instance receives one vectorised
+        scatter instead of per-token (or per-level re-converted) work.
         """
         if stream.n != self.n:
             raise ValueError("stream and sketch node universes differ")
-        m = len(stream)
-        lo = np.fromiter((u.lo for u in stream), dtype=np.int64, count=m)
-        hi = np.fromiter((u.hi for u in stream), dtype=np.int64, count=m)
-        dl = np.fromiter((u.delta for u in stream), dtype=np.int64, count=m)
-        e = lo * self.n - lo * (lo + 1) // 2 + (hi - lo - 1)
-        top = np.asarray(self._level_source.levels(e, self.levels), dtype=np.int64)
+        return self.consume_batch(stream.as_batch())
+
+    def consume_batch(self, batch: StreamBatch) -> "MinCutSketch":
+        """Ingest one columnar batch, subsampled into every level."""
+        if batch.n != self.n:
+            raise ValueError("batch and sketch node universes differ")
+        top = np.asarray(
+            self._level_source.levels(batch.ranks, self.levels), dtype=np.int64
+        )
         for i, instance in enumerate(self.instances):
             mask = top >= i
             if not mask.any():
                 continue
-            instance.update_edges(lo[mask], hi[mask], dl[mask])
+            instance.update_edges(
+                batch.lo[mask], batch.hi[mask], batch.delta[mask],
+                items=batch.ranks[mask],
+            )
         return self
 
     def merge(self, other: "MinCutSketch") -> None:

@@ -26,10 +26,12 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..errors import StreamError
 from ..graphs import global_min_cut_value
 from ..hashing import HashSource
-from ..streams import DynamicGraphStream, EdgeUpdate
+from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
 from .edge_connect import EdgeConnectivitySketch
 from .forest import SpanningForestSketch
 
@@ -69,8 +71,22 @@ class BipartitenessSketch:
         """Feed an entire stream (single pass)."""
         if stream.n != self.n:
             raise ValueError("stream and sketch node universes differ")
-        for upd in stream:
-            self.update(upd)
+        return self.consume_batch(stream.as_batch())
+
+    def consume_batch(self, batch: StreamBatch) -> "BipartitenessSketch":
+        """Ingest one columnar batch into the base and doubled sketches.
+
+        The doubled graph's edges ``(u, v + n)`` and ``(v, u + n)`` stay
+        canonically oriented because ``u, v < n <= x + n``.
+        """
+        if batch.n != self.n:
+            raise ValueError("batch and sketch node universes differ")
+        self.base.consume_batch(batch)
+        self.doubled.update_edges(
+            np.concatenate([batch.lo, batch.hi]),
+            np.concatenate([batch.hi + self.n, batch.lo + self.n]),
+            np.concatenate([batch.delta, batch.delta]),
+        )
         return self
 
     def merge(self, other: "BipartitenessSketch") -> None:
@@ -197,8 +213,29 @@ class MSTWeightSketch:
         """Feed an entire stream (single pass)."""
         if stream.n != self.n:
             raise ValueError("stream and sketch node universes differ")
-        for upd in stream:
-            self.update(upd)
+        return self.consume_batch(stream.as_batch())
+
+    def consume_batch(self, batch: StreamBatch) -> "MSTWeightSketch":
+        """Ingest one columnar batch, routed to every qualifying threshold."""
+        if batch.n != self.n:
+            raise ValueError("batch and sketch node universes differ")
+        if len(batch) == 0:
+            return self
+        w = np.abs(batch.delta)
+        over = w > self.max_weight
+        if over.any():
+            raise StreamError(
+                f"token weight {int(w[over][0])} exceeds max_weight "
+                f"{self.max_weight}"
+            )
+        sign = np.where(batch.delta > 0, 1, -1).astype(np.int64)
+        for threshold, sketch in zip(self.thresholds, self.sketches):
+            mask = w <= threshold
+            if mask.any():
+                sketch.update_edges(
+                    batch.lo[mask], batch.hi[mask], sign[mask],
+                    items=batch.ranks[mask],
+                )
         return self
 
     def merge(self, other: "MSTWeightSketch") -> None:

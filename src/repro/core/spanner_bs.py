@@ -180,30 +180,34 @@ class BaswanaSenSpanner:
         join_bank: L0SamplerBank,
     ) -> None:
         """Replay the stream into the join samplers (restricted routing)."""
-        samplers: list[int] = []
-        items: list[int] = []
-        deltas: list[int] = []
-        for upd in stream:
-            lo, hi, delta = upd.lo, upd.hi, upd.delta
-            item = lo * self.n - lo * (lo + 1) // 2 + (hi - lo - 1)
-            for u, x in ((lo, hi), (hi, lo)):
-                if not state.alive(u):
-                    continue
-                rx = state.root[x]
-                if rx is None or rx not in sampled:
-                    continue
-                samplers.append(u)
-                items.append(item)
-                deltas.append(delta)
+        batch = stream.as_batch()
+        root = state.root_array()
+        in_sampled = np.zeros(self.n, dtype=bool)
+        if sampled:
+            in_sampled[np.fromiter(sampled, dtype=np.int64)] = True
+        samplers: list[np.ndarray] = []
+        items: list[np.ndarray] = []
+        deltas: list[np.ndarray] = []
+        for u, x in ((batch.lo, batch.hi), (batch.hi, batch.lo)):
+            rx = root[x]
+            mask = (root[u] >= 0) & (rx >= 0)
+            mask &= in_sampled[np.where(rx >= 0, rx, 0)]
+            if not mask.any():
+                continue
+            samplers.append(u[mask])
+            items.append(batch.ranks[mask])
+            deltas.append(batch.delta[mask])
         if not samplers:
             return
-        count = len(samplers)
+        sampler_rows = np.concatenate(samplers)
+        item_rows = np.concatenate(items)
+        delta_rows = np.concatenate(deltas)
         for copy in range(self.sample_copies):
             join_bank.update(
-                np.full(count, copy, dtype=np.int64),
-                np.asarray(samplers, dtype=np.int64),
-                np.asarray(items, dtype=np.int64),
-                np.asarray(deltas, dtype=np.int64),
+                np.full(sampler_rows.size, copy, dtype=np.int64),
+                sampler_rows,
+                item_rows,
+                delta_rows,
             )
 
     def _try_join(

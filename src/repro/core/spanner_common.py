@@ -22,7 +22,7 @@ import numpy as np
 from ..errors import SamplerFailed
 from ..hashing import HashSource
 from ..sketch import L0SamplerBank
-from ..streams import DynamicGraphStream
+from ..streams import DynamicGraphStream, StreamBatch
 from ..util import pair_count, pair_unrank
 
 __all__ = ["ClusterState", "NeighborhoodSketch"]
@@ -54,6 +54,14 @@ class ClusterState:
     def roots(self) -> set[int]:
         """The set of live cluster roots."""
         return {r for r in self.root if r is not None}
+
+    def root_array(self) -> np.ndarray:
+        """The assignment as an ``int64`` array, ``-1`` marking finished."""
+        return np.fromiter(
+            (r if r is not None else -1 for r in self.root),
+            dtype=np.int64,
+            count=self.n,
+        )
 
     def members(self) -> dict[int, list[int]]:
         """Live cluster members grouped by root."""
@@ -113,31 +121,43 @@ class NeighborhoodSketch:
         return int(self._cluster_hash.bucket(root, self.buckets))
 
     def consume(self, stream: DynamicGraphStream, state: ClusterState) -> None:
-        """Replay the stream, routing each token by the *fixed* clustering."""
-        sampler_rows: list[int] = []
-        item_rows: list[int] = []
-        delta_rows: list[int] = []
-        for upd in stream:
-            lo, hi, delta = upd.lo, upd.hi, upd.delta
-            item = lo * self.n - lo * (lo + 1) // 2 + (hi - lo - 1)
-            for u, x in ((lo, hi), (hi, lo)):
-                if not state.alive(u):
-                    continue
-                rx = state.root[x]
-                if rx is None:
-                    continue
-                if self.restrict_roots is not None and rx not in self.restrict_roots:
-                    continue
-                sampler_rows.append(u * self.buckets + self.bucket_of_root(rx))
-                item_rows.append(item)
-                delta_rows.append(delta)
-        if sampler_rows:
-            count = len(sampler_rows)
+        """Replay the stream, routing each token by the *fixed* clustering.
+
+        Pulls the stream's shared columnar batch (replays across batches
+        reuse one materialisation) and evaluates the liveness/cluster
+        routing for all tokens and both edge directions as array masks.
+        """
+        batch = stream.as_batch()
+        root = state.root_array()
+        allowed: np.ndarray | None = None
+        if self.restrict_roots is not None:
+            allowed = np.zeros(self.n, dtype=bool)
+            if self.restrict_roots:
+                allowed[np.fromiter(self.restrict_roots, dtype=np.int64)] = True
+        samplers: list[np.ndarray] = []
+        items: list[np.ndarray] = []
+        deltas: list[np.ndarray] = []
+        for u, x in ((batch.lo, batch.hi), (batch.hi, batch.lo)):
+            rx = root[x]
+            mask = (root[u] >= 0) & (rx >= 0)
+            if allowed is not None:
+                mask &= allowed[np.where(rx >= 0, rx, 0)]
+            if not mask.any():
+                continue
+            rx = rx[mask]
+            bucket = np.asarray(
+                self._cluster_hash.bucket(rx, self.buckets), dtype=np.int64
+            )
+            samplers.append(u[mask] * self.buckets + bucket)
+            items.append(batch.ranks[mask])
+            deltas.append(batch.delta[mask])
+        if samplers:
+            sampler_rows = np.concatenate(samplers)
             self.bank.update(
-                np.zeros(count, dtype=np.int64),
-                np.asarray(sampler_rows, dtype=np.int64),
-                np.asarray(item_rows, dtype=np.int64),
-                np.asarray(delta_rows, dtype=np.int64),
+                np.zeros(sampler_rows.size, dtype=np.int64),
+                sampler_rows,
+                np.concatenate(items),
+                np.concatenate(deltas),
             )
 
     def edges_per_cluster(

@@ -145,7 +145,6 @@ class RecurseConnectSpanner:
     ) -> tuple[list[int | None], list[int], int]:
         """Sample neighbourhoods, retire low degree, cluster, collapse."""
         batch_source = self.source.derive(0x9C, phase)
-        index_of = {p: i for i, p in enumerate(alive)}
         bank = L0SamplerBank(
             families=1,
             samplers=len(alive) * buckets,
@@ -156,33 +155,39 @@ class RecurseConnectSpanner:
         )
         bucket_hash = batch_source.derive(2)
 
-        # Replay the stream routed by the *current* contraction map.
-        samplers: list[int] = []
-        items: list[int] = []
-        deltas: list[int] = []
-        for upd in stream:
-            lo, hi, delta = upd.lo, upd.hi, upd.delta
-            pa, pb = phi[lo], phi[hi]
-            if pa is None or pb is None or pa == pb:
-                continue
-            item = lo * self.n - lo * (lo + 1) // 2 + (hi - lo - 1)
+        # Replay the stream routed by the *current* contraction map,
+        # evaluated columnar: map endpoints to supernodes, drop retired
+        # and intra-supernode tokens, and bucket-hash whole arrays.
+        batch = stream.as_batch()
+        phi_arr = np.fromiter(
+            (p if p is not None else -1 for p in phi), dtype=np.int64, count=self.n
+        )
+        index_arr = np.full(self.n, -1, dtype=np.int64)
+        index_arr[np.asarray(alive, dtype=np.int64)] = np.arange(
+            len(alive), dtype=np.int64
+        )
+        pa = phi_arr[batch.lo]
+        pb = phi_arr[batch.hi]
+        mask = (pa >= 0) & (pb >= 0) & (pa != pb)
+        if mask.any():
+            pa, pb = pa[mask], pb[mask]
+            item_rows = batch.ranks[mask]
+            delta_rows = batch.delta[mask]
+            rows = []
             for mine, other in ((pa, pb), (pb, pa)):
-                b = int(bucket_hash.bucket(other, buckets))
-                samplers.append(index_of[mine] * buckets + b)
-                items.append(item)
-                deltas.append(delta)
-        if samplers:
+                b = np.asarray(bucket_hash.bucket(other, buckets), dtype=np.int64)
+                rows.append(index_arr[mine] * buckets + b)
             bank.update(
-                np.zeros(len(samplers), dtype=np.int64),
-                np.asarray(samplers, dtype=np.int64),
-                np.asarray(items, dtype=np.int64),
-                np.asarray(deltas, dtype=np.int64),
+                np.zeros(2 * item_rows.size, dtype=np.int64),
+                np.concatenate(rows),
+                np.concatenate([item_rows, item_rows]),
+                np.concatenate([delta_rows, delta_rows]),
             )
 
         # Recover sampled neighbourhoods: H_i and witness edges.
         neighbors: dict[int, dict[int, tuple[int, int]]] = {p: {} for p in alive}
         for p in alive:
-            base = index_of[p] * buckets
+            base = int(index_arr[p]) * buckets
             for b in range(buckets):
                 try:
                     item, _value = bank.sample(0, base + b)
@@ -280,7 +285,6 @@ class RecurseConnectSpanner:
         """One ℓ₀ sampler per supernode pair; add a witness edge per pair."""
         if len(alive) < 2:
             return 0
-        index_of = {p: i for i, p in enumerate(alive)}
         num_pairs = len(alive) * (len(alive) - 1) // 2
         bank = L0SamplerBank(
             families=1,
@@ -291,27 +295,26 @@ class RecurseConnectSpanner:
             buckets=4,
         )
         a = len(alive)
-        samplers: list[int] = []
-        items: list[int] = []
-        deltas: list[int] = []
-        for upd in stream:
-            lo, hi, delta = upd.lo, upd.hi, upd.delta
-            pa, pb = phi[lo], phi[hi]
-            if pa is None or pb is None or pa == pb:
-                continue
-            ia, ib = index_of[pa], index_of[pb]
-            if ia > ib:
-                ia, ib = ib, ia
-            pair = ia * a - ia * (ia + 1) // 2 + (ib - ia - 1)
-            samplers.append(pair)
-            items.append(lo * self.n - lo * (lo + 1) // 2 + (hi - lo - 1))
-            deltas.append(delta)
-        if samplers:
+        batch = stream.as_batch()
+        phi_arr = np.fromiter(
+            (p if p is not None else -1 for p in phi), dtype=np.int64, count=self.n
+        )
+        index_arr = np.full(self.n, -1, dtype=np.int64)
+        index_arr[np.asarray(alive, dtype=np.int64)] = np.arange(a, dtype=np.int64)
+        pa = phi_arr[batch.lo]
+        pb = phi_arr[batch.hi]
+        mask = (pa >= 0) & (pb >= 0) & (pa != pb)
+        if mask.any():
+            ia = index_arr[pa[mask]]
+            ib = index_arr[pb[mask]]
+            lo_i = np.minimum(ia, ib)
+            hi_i = np.maximum(ia, ib)
+            pairs = lo_i * a - lo_i * (lo_i + 1) // 2 + (hi_i - lo_i - 1)
             bank.update(
-                np.zeros(len(samplers), dtype=np.int64),
-                np.asarray(samplers, dtype=np.int64),
-                np.asarray(items, dtype=np.int64),
-                np.asarray(deltas, dtype=np.int64),
+                np.zeros(pairs.size, dtype=np.int64),
+                pairs,
+                batch.ranks[mask],
+                batch.delta[mask],
             )
         for pair in range(num_pairs):
             try:

@@ -38,7 +38,7 @@ from ..errors import RecoveryFailed
 from ..graphs import Graph, gomory_hu_tree
 from ..hashing import HashSource
 from ..sketch import SparseRecoveryBank
-from ..streams import DynamicGraphStream, EdgeUpdate
+from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
 from ..util import ceil_log2, pair_unrank
 from .sparsifier import Sparsifier
 from .sparsify_simple import SimpleSparsification, default_sparsifier_k
@@ -141,12 +141,16 @@ class Sparsification:
         """Feed an entire stream (single pass), batched."""
         if stream.n != self.n:
             raise ValueError("stream and sketch node universes differ")
-        self.rough.consume(stream)
-        m = len(stream)
-        lo = np.fromiter((u.lo for u in stream), dtype=np.int64, count=m)
-        hi = np.fromiter((u.hi for u in stream), dtype=np.int64, count=m)
-        dl = np.fromiter((u.delta for u in stream), dtype=np.int64, count=m)
-        e = lo * self.n - lo * (lo + 1) // 2 + (hi - lo - 1)
+        return self.consume_batch(stream.as_batch())
+
+    def consume_batch(self, batch: StreamBatch) -> "Sparsification":
+        """Ingest one columnar batch (rough sparsifier + recovery bank)."""
+        if batch.n != self.n:
+            raise ValueError("batch and sketch node universes differ")
+        if len(batch) == 0:
+            return self
+        self.rough.consume_batch(batch)
+        lo, hi, dl, e = batch.lo, batch.hi, batch.delta, batch.ranks
         top = np.asarray(self._level_source.levels(e, self.levels), dtype=np.int64)
         lengths = top + 1
         total = int(lengths.sum())

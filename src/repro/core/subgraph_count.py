@@ -34,7 +34,7 @@ import numpy as np
 from ..errors import NotSupportedError, SamplerFailed
 from ..hashing import HashSource
 from ..sketch import L0SamplerBank, pair_positions_k3, rows_for_order
-from ..streams import DynamicGraphStream, EdgeUpdate
+from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
 from ..util import comb
 from .patterns import Pattern, encoding_class
 
@@ -132,29 +132,63 @@ class SubgraphSketch:
     def consume(self, stream: DynamicGraphStream) -> "SubgraphSketch":
         """Feed an entire stream (single pass).
 
-        Tokens are processed in chunks: the per-token column batches are
-        concatenated and handed to the sampler bank as one scatter,
-        which amortises the bank-call overhead across the chunk (the
-        k = 3 fast path computes each token's columns vectorised
-        already).  Bit-identical to per-token :meth:`update` calls.
+        Tokens are processed in chunks handed to the sampler bank as one
+        scatter, which amortises the bank-call overhead across the chunk
+        (the k = 3 fast path computes whole chunks of column expansions
+        on 2-D arrays).  Bit-identical to per-token :meth:`update` calls.
         """
         if stream.n != self.n:
             raise ValueError("stream and sketch node universes differ")
+        return self.consume_batch(stream.as_batch())
+
+    def consume_batch(self, batch: StreamBatch) -> "SubgraphSketch":
+        """Ingest one columnar batch (chunked column expansion)."""
+        if batch.n != self.n:
+            raise ValueError("batch and sketch node universes differ")
         chunk_tokens = max(1, 200_000 // max(1, (self.n - 2) * self.samplers))
-        pending_cols: list[np.ndarray] = []
-        pending_deltas: list[np.ndarray] = []
-        pending = 0
-        for upd in stream:
-            cols, deltas = self._column_deltas(upd.lo, upd.hi, upd.delta)
-            pending_cols.append(cols)
-            pending_deltas.append(deltas)
-            pending += 1
-            if pending >= chunk_tokens:
-                self._flush(pending_cols, pending_deltas)
-                pending_cols, pending_deltas, pending = [], [], 0
-        if pending_cols:
-            self._flush(pending_cols, pending_deltas)
+        for start in range(0, len(batch), chunk_tokens):
+            end = start + chunk_tokens
+            if self.order == 3:
+                cols, deltas = self._column_deltas_chunk(
+                    batch.lo[start:end], batch.hi[start:end],
+                    batch.delta[start:end],
+                )
+                self._flush([cols], [deltas])
+            else:
+                per_token = [
+                    self._column_deltas(int(lo), int(hi), int(dl))
+                    for lo, hi, dl in zip(
+                        batch.lo[start:end], batch.hi[start:end],
+                        batch.delta[start:end],
+                    )
+                ]
+                self._flush([c for c, _ in per_token], [d for _, d in per_token])
         return self
+
+    def _column_deltas_chunk(
+        self, lo: np.ndarray, hi: np.ndarray, delta: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised ``k = 3`` column expansion for a chunk of tokens.
+
+        Broadcasts the third-vertex grid to ``tokens × n``, masks out
+        the two endpoints, and emits the same (column, delta) pairs as
+        the per-token path, token-major.
+        """
+        m = lo.size
+        lo2 = lo[:, None]
+        hi2 = hi[:, None]
+        w = np.broadcast_to(self._all_nodes, (m, self.n))
+        keep = (w != lo2) & (w != hi2)
+        a = np.minimum(w, lo2)  # lo < hi always, so min/max vs lo/hi suffice
+        c = np.maximum(w, hi2)
+        b = (w + lo2 + hi2) - a - c
+        cols = a + b * (b - 1) // 2 + c * (c - 1) * (c - 2) // 6
+        # Row position of {lo, hi} in the sorted triple (pair_positions_k3).
+        pos = np.zeros((m, self.n), dtype=np.int64)
+        pos[(w > lo2) & (w < hi2)] = 1
+        pos[w < lo2] = 2
+        deltas = delta[:, None] * (1 << pos)
+        return cols[keep], deltas[keep]
 
     def _flush(
         self, cols_list: list[np.ndarray], deltas_list: list[np.ndarray]

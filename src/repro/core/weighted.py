@@ -18,11 +18,11 @@ what lets a linear sketch route a token to its dyadic class by
 
 from __future__ import annotations
 
-import math
+import numpy as np
 
 from ..graphs import Graph
 from ..hashing import HashSource
-from ..streams import DynamicGraphStream, EdgeUpdate
+from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
 from ..util import ceil_log2
 from .sparsifier import Sparsifier
 from .sparsify_simple import SimpleSparsification
@@ -104,18 +104,29 @@ class WeightedSparsification:
         """Feed an entire stream (single pass), splitting by class."""
         if stream.n != self.n:
             raise ValueError("stream and sketch node universes differ")
-        per_class: list[list[EdgeUpdate]] = [[] for _ in range(self.num_classes)]
-        for upd in stream:
-            w = abs(upd.delta)
-            if w > self.max_weight:
-                raise ValueError(
-                    f"token weight {w} exceeds configured max_weight "
-                    f"{self.max_weight}"
-                )
-            per_class[weight_class_of(upd.delta)].append(upd)
-        for sketch, updates in zip(self.classes, per_class):
-            if updates:
-                sketch.consume(DynamicGraphStream(self.n, updates))
+        return self.consume_batch(stream.as_batch())
+
+    def consume_batch(self, batch: StreamBatch) -> "WeightedSparsification":
+        """Ingest one columnar batch, routed to the dyadic class sketches."""
+        if batch.n != self.n:
+            raise ValueError("batch and sketch node universes differ")
+        if len(batch) == 0:
+            return self
+        w = np.abs(batch.delta)
+        over = w > self.max_weight
+        if over.any():
+            raise ValueError(
+                f"token weight {int(w[over][0])} exceeds configured max_weight "
+                f"{self.max_weight}"
+            )
+        # weight_class_of, vectorised: largest j with 2^j <= w (exact
+        # integer comparisons via searchsorted on the dyadic boundaries).
+        powers = np.int64(1) << np.arange(self.num_classes, dtype=np.int64)
+        classes = np.searchsorted(powers, w, side="right") - 1
+        for j, sketch in enumerate(self.classes):
+            mask = classes == j
+            if mask.any():
+                sketch.consume_batch(batch.select(mask))
         return self
 
     def merge(self, other: "WeightedSparsification") -> None:

@@ -68,17 +68,33 @@ class CellBank:
         times (contributions accumulate).  This is the single hot path
         of the library.
         """
-        cells = np.asarray(cells, dtype=np.int64)
+        self.scatter_multi([cells], items, deltas)
+
+    def scatter_multi(
+        self, cells_per_row: list[np.ndarray], items: np.ndarray, deltas: np.ndarray
+    ) -> None:
+        """Scatter one ``(items, deltas)`` payload through several routings.
+
+        Equivalent to calling :meth:`scatter` once per entry of
+        ``cells_per_row``, but the fingerprint powers — the expensive
+        part of a scatter — are computed once and shared, and the
+        modular reduction of the fingerprint arrays is deferred until
+        all rows are applied.  Both banks route every item into one
+        bucket per hash-table row, so this halves-to-thirds the scatter
+        cost of the hot path.
+        """
         items = np.asarray(items, dtype=np.int64)
         deltas = np.asarray(deltas, dtype=np.int64)
-        np.add.at(self.phi, cells, deltas)
-        np.add.at(self.iota, cells, items * deltas)
+        weighted = items * deltas
         dmod = np.mod(deltas, MERSENNE31)
-        pw1 = powmod_array(self.z1, items)
-        pw2 = powmod_array(self.z2, items)
-        np.add.at(self.fp1, cells, mod_mersenne31(dmod * pw1))
-        np.add.at(self.fp2, cells, mod_mersenne31(dmod * pw2))
-        # Keep fingerprints reduced so subsequent adds cannot overflow.
+        c1 = mod_mersenne31(dmod * powmod_array(self.z1, items))
+        c2 = mod_mersenne31(dmod * powmod_array(self.z2, items))
+        for cells in cells_per_row:
+            cells = np.asarray(cells, dtype=np.int64)
+            np.add.at(self.phi, cells, deltas)
+            np.add.at(self.iota, cells, weighted)
+            np.add.at(self.fp1, cells, c1)
+            np.add.at(self.fp2, cells, c2)
         self.fp1 = mod_mersenne31(self.fp1)
         self.fp2 = mod_mersenne31(self.fp2)
 

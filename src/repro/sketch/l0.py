@@ -111,13 +111,21 @@ class L0Sampler(LinearSketch):
     def sample(self) -> tuple[int, int]:
         """Return ``(index, value)`` for a (near-)uniform support element.
 
+        The returned index is the argmax of ``(level_of(i), hash(i))``
+        over every decodable cell — the same selection rule (including
+        the hash tie-break) as :meth:`L0SamplerBank._sample_from`, so a
+        scalar sampler and a one-family bank sharing a seed agree.
+
         Raises
         ------
         SamplerFailed
             With ``vector_is_zero=True`` when every cell is empty (the
             sketched vector is zero w.h.p.), else a recovery failure.
         """
-        best: tuple[int, int, int] | None = None  # (level_of(i), i, value)
+        # (level_of(i), tiebreak hash, i, value); an item decoded at a
+        # shallow grid level can still carry a deep level_of, so every
+        # cell must be inspected before the argmax is known.
+        best: tuple[int, int, int, int] | None = None
         any_nonzero = False
         for lv in range(self.levels, -1, -1):
             for r in range(self.rows):
@@ -130,14 +138,16 @@ class L0Sampler(LinearSketch):
                     if decoded is None:
                         continue
                     i, v = decoded
-                    cand = (self.level_of(i), i, v)
-                    if best is None or cand[0] > best[0]:
+                    cand = (
+                        self.level_of(i),
+                        int(self._level_source.hash64(i)),
+                        i,
+                        v,
+                    )
+                    if best is None or cand[:2] > best[:2]:
                         best = cand
-            if best is not None and best[0] >= lv:
-                # No deeper candidate can exist below this level.
-                break
         if best is not None:
-            return best[1], best[2]
+            return best[2], best[3]
         err = SamplerFailed(
             "l0 sample failed" if any_nonzero else "sketched vector is zero"
         )
@@ -240,13 +250,14 @@ class L0SamplerBank:
         base = (
             (fams * self.samplers + samps) * (self.levels + 1) + lvs
         ) * self.rows
+        cells_per_row = []
         for row in range(self.rows):
             key = ((items * self.families + fams) * (self.levels + 1) + lvs) * self.rows + row
             bucket = np.asarray(
                 self._bucket_source.bucket(key, self.buckets), dtype=np.int64
             )
-            cells = (base + row) * self.buckets + bucket
-            self.bank.scatter(cells, items, deltas)
+            cells_per_row.append((base + row) * self.buckets + bucket)
+        self.bank.scatter_multi(cells_per_row, items, deltas)
 
     def merge(self, other: "L0SamplerBank") -> None:
         """Cell-wise merge of an identically-seeded bank (distributed sum)."""

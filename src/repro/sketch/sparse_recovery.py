@@ -210,6 +210,7 @@ class SparseRecoveryBank:
         if items.size == 0:
             return
         base = (group_ids * self.instances + instance_ids) * self._cells_per_instance
+        cells_per_row = []
         for r in range(self.rows):
             bucket = np.asarray(
                 self._bucket_source.bucket(
@@ -217,8 +218,8 @@ class SparseRecoveryBank:
                 ),
                 dtype=np.int64,
             )
-            cells = base + r * self.buckets + bucket
-            self.bank.scatter(cells, items, deltas)
+            cells_per_row.append(base + r * self.buckets + bucket)
+        self.bank.scatter_multi(cells_per_row, items, deltas)
 
     def merge(self, other: "SparseRecoveryBank") -> None:
         """Cell-wise merge of an identically-shaped bank."""

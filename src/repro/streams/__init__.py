@@ -16,6 +16,7 @@ from .generators import (
     triangle_planted_graph,
     weighted_churn_stream,
 )
+from .batch import StreamBatch
 from .io import dumps_stream, loads_stream, read_stream, write_stream
 from .stream import DynamicGraphStream
 from .update import EdgeUpdate
@@ -23,6 +24,7 @@ from .update import EdgeUpdate
 __all__ = [
     "DynamicGraphStream",
     "EdgeUpdate",
+    "StreamBatch",
     "dumps_stream",
     "loads_stream",
     "read_stream",

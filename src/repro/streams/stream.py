@@ -22,6 +22,7 @@ from collections.abc import Iterable, Iterator, Sequence
 
 from ..errors import StreamError
 from ..hashing import HashSource
+from .batch import StreamBatch
 from .update import EdgeUpdate
 
 __all__ = ["DynamicGraphStream"]
@@ -45,13 +46,14 @@ class DynamicGraphStream:
     :meth:`validate` checks for every prefix.
     """
 
-    __slots__ = ("n", "_updates")
+    __slots__ = ("n", "_updates", "_batch")
 
     def __init__(self, n: int, updates: Iterable[EdgeUpdate] = ()):  # noqa: D107
         if n < 2:
             raise StreamError(f"node universe must have at least 2 nodes, got {n}")
         self.n = n
         self._updates: list[EdgeUpdate] = []
+        self._batch: StreamBatch | None = None
         for upd in updates:
             self.append(upd)
 
@@ -61,6 +63,7 @@ class DynamicGraphStream:
         """Append a validated update token to the stream."""
         update.validate_universe(self.n)
         self._updates.append(update)
+        self._batch = None  # the cached columnar view is stale now
 
     def insert(self, u: int, v: int, copies: int = 1) -> None:
         """Append an insertion of ``copies`` parallel ``{u, v}`` edges."""
@@ -95,6 +98,20 @@ class DynamicGraphStream:
     def updates(self) -> Sequence[EdgeUpdate]:
         """Read-only view of the token sequence."""
         return tuple(self._updates)
+
+    def as_batch(self) -> StreamBatch:
+        """Cached columnar view of the stream (shared by all consumers).
+
+        The first call materialises the ``lo``/``hi``/``delta``/``ranks``
+        columns; the batch is then reused by every sketch's
+        ``consume``/``consume_batch`` — and across the batches of
+        adaptive schemes, which replay the same stream — until
+        :meth:`append` grows the stream and invalidates the cache.  The
+        returned arrays are read-only.
+        """
+        if self._batch is None:
+            self._batch = StreamBatch.from_updates(self.n, self._updates)
+        return self._batch
 
     def multiplicities(self) -> dict[tuple[int, int], int]:
         """Aggregate edge multiplicities ``A(i, j)`` of the final graph.

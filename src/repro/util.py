@@ -95,9 +95,11 @@ def pair_unrank(r: int, n: int) -> tuple[int, int]:
     total = pair_count(n)
     if not 0 <= r < total:
         raise ValueError(f"pair rank {r} outside [0, {total})")
-    # Row u owns ranks [offset(u), offset(u) + n - 1 - u).  Solve by a
-    # direct quadratic formula then fix up boundary effects.
-    u = int(n - 2 - math.floor((math.sqrt(8 * (total - 1 - r) + 1) - 1) / 2))
+    # Row u owns ranks [offset(u), offset(u) + n - 1 - u).  Solve the
+    # quadratic exactly in integers (float sqrt loses whole rows once
+    # 8·total exceeds 2^53), then fix up boundary effects — at most one
+    # step each way.
+    u = n - 2 - (math.isqrt(8 * (total - 1 - r) + 1) - 1) // 2
     u = max(0, min(u, n - 2))
     while u * n - u * (u + 1) // 2 > r:
         u -= 1

@@ -112,6 +112,19 @@ class TestCli:
         out = capsys.readouterr().out
         assert "E9" in out and "completed" in out
 
+    def test_run_unknown_experiment_exits_cleanly(self, capsys):
+        """``run e99`` must fail with a clear message, not a KeyError."""
+        assert main(["run", "e99"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown experiment 'e99'" in captured.err
+        for exp_id in EXPERIMENTS:
+            assert exp_id in captured.err
+        assert "all" in captured.err
+
+    def test_run_accepts_uppercase_id(self, capsys):
+        assert main(["run", "E9"]) == 0
+        assert "E9" in capsys.readouterr().out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

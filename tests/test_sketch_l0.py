@@ -69,6 +69,41 @@ class TestL0SamplerScalar:
         i, v = s.sample()
         assert i in support
 
+    @pytest.mark.parametrize("seed", range(8))
+    def test_parity_with_one_family_bank(self, seed):
+        """Scalar and bank samplers share the selection rule, tie-break included.
+
+        Both derive the level/bucket hashes from the same labels, so a
+        scalar sampler and a one-family single-sampler bank built from
+        the same source place items in the same cells; the sample must
+        then agree because both pick the argmax of ``(level, hash(i))``
+        over decodable cells.  Before the tie-break fix the scalar
+        sampler kept the *first* candidate of the deepest level instead.
+        """
+        src = HashSource(0xA11CE + seed)
+        domain = 2_000
+        scalar = L0Sampler(domain, src)
+        bank = L0SamplerBank(families=1, samplers=1, domain=domain, source=src)
+        support = {(j * 131 + 17 * seed) % domain: 1 + (j % 3) for j in range(24)}
+        support.pop(0, None)
+        items = np.fromiter(support, dtype=np.int64)
+        values = np.fromiter(support.values(), dtype=np.int64)
+        for i, v in support.items():
+            scalar.update(i, v)
+        bank.update(
+            np.zeros(items.size, dtype=np.int64),
+            np.zeros(items.size, dtype=np.int64),
+            items,
+            values,
+        )
+        try:
+            expected = bank.sample(0, 0)
+        except SamplerFailed:
+            with pytest.raises(SamplerFailed):
+                scalar.sample()
+            return
+        assert scalar.sample() == expected
+
 
 class TestL0SamplerBank:
     def test_families_are_independent_samplers(self, source):

@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import StreamError
 from repro.graphs import Graph, global_min_cut_value
+from repro.util import pair_rank
 from repro.streams import (
     DynamicGraphStream,
     EdgeUpdate,
@@ -148,6 +149,49 @@ class TestDynamicGraphStream:
     def test_from_edges(self):
         st = DynamicGraphStream.from_edges(4, [(0, 1), (2, 3)])
         assert st.final_edge_count() == 2
+
+
+class TestStreamBatch:
+    def test_columns_match_tokens(self):
+        st = DynamicGraphStream(6)
+        st.insert(3, 1)
+        st.delete(0, 5, copies=2)
+        batch = st.as_batch()
+        assert len(batch) == 2
+        assert batch.n == 6
+        assert list(batch.lo) == [1, 0]
+        assert list(batch.hi) == [3, 5]
+        assert list(batch.delta) == [1, -2]
+        assert list(batch.ranks) == [pair_rank(1, 3, 6), pair_rank(0, 5, 6)]
+
+    def test_cached_until_append(self):
+        st = stream_from_edges(8, path_graph(8))
+        first = st.as_batch()
+        assert st.as_batch() is first  # shared across consumers
+        st.insert(0, 7)
+        second = st.as_batch()
+        assert second is not first
+        assert len(second) == len(first) + 1
+
+    def test_columns_are_read_only(self):
+        batch = stream_from_edges(5, [(0, 1), (2, 3)]).as_batch()
+        for column in (batch.lo, batch.hi, batch.delta, batch.ranks):
+            with pytest.raises(ValueError):
+                column[0] = 99
+
+    def test_select_and_slice(self):
+        st = stream_from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        batch = st.as_batch()
+        picked = batch.select(batch.lo >= 2)
+        assert list(picked.lo) == [2, 3]
+        window = batch.slice(1, 3)
+        assert list(window.hi) == [2, 3]
+        assert list(window.ranks) == list(batch.ranks[1:3])
+
+    def test_empty_stream_batch(self):
+        batch = DynamicGraphStream(4).as_batch()
+        assert len(batch) == 0
+        assert batch.ranks.size == 0
 
 
 class TestGenerators:

@@ -89,6 +89,27 @@ class TestPairRanking:
         assert pair_rank(0, 4, 5) == 3
         assert pair_rank(1, 2, 5) == 4
 
+    def test_roundtrip_large_universe_exact(self):
+        """Regression: the quadratic seed must stay exact at large n.
+
+        For n ≳ 2^26, ``8 · C(n,2)`` exceeds 2^53, where float sqrt
+        rounding begins; ``math.isqrt`` keeps the row seed exact for any
+        n, so the boundary fix-ups stay O(1) and the round trip is exact
+        all the way to the last rank.
+        """
+        for n in (1 << 27, (1 << 28) + 3):
+            total = pair_count(n)
+            pairs = [
+                (0, 1), (0, n - 1), (1, 2),
+                (n // 3, n // 2), (n - 3, n - 2), (n - 2, n - 1),
+            ]
+            for u, v in pairs:
+                assert pair_unrank(pair_rank(u, v, n), n) == (u, v)
+            for r in (0, 1, total // 3, total // 2, total - 2, total - 1):
+                u, v = pair_unrank(r, n)
+                assert 0 <= u < v < n
+                assert pair_rank(u, v, n) == r
+
     def test_rejects_self_pair(self):
         with pytest.raises(ValueError):
             pair_rank(3, 3, 10)
