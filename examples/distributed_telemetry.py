@@ -16,8 +16,11 @@ Run:  python examples/distributed_telemetry.py
 
 from __future__ import annotations
 
-from repro import HashSource, MinCutSketch, SimpleSparsification
+import functools
+
+from repro import HashSource
 from repro.core import cut_approximation_report
+from repro.distributed import mincut_sketch, sharded_consume, sparsifier_sketch
 from repro.graphs import Graph, global_min_cut_value
 from repro.streams import churn_stream, planted_partition_graph
 
@@ -30,36 +33,33 @@ def main() -> None:
     print(f"global stream: {len(global_stream)} flow updates "
           f"(with teardowns), {global_stream.final_edge_count()} live flows")
 
-    # Four collection sites each see an arbitrary sub-stream.
-    sites = global_stream.partition(4, seed=5)
-    for i, site in enumerate(sites):
-        print(f"  site {i}: {len(site)} updates")
-
     # Every site builds sketches with the SAME shared seed (this is what
-    # makes the linear measurements compatible).
+    # makes the linear measurements compatible).  The ShardedSketchRunner
+    # automates the loop: partition → per-site columnar consume →
+    # serialise to bytes (the only thing that crosses the wire) →
+    # coordinator load + verify + merge.
     shared = HashSource(0xD157)
-    coordinator_cut = MinCutSketch(n, epsilon=0.5, source=shared.derive(1))
-    coordinator_sparse = SimpleSparsification(
-        n, epsilon=0.5, source=shared.derive(2), c_k=0.3
+    cut_run = sharded_consume(
+        global_stream,
+        functools.partial(mincut_sketch, n, shared.derive(1).seed),
+        sites=4, strategy="hash-edge",
     )
-    for site_stream in sites:
-        site_cut = MinCutSketch(n, epsilon=0.5, source=shared.derive(1))
-        site_sparse = SimpleSparsification(
-            n, epsilon=0.5, source=shared.derive(2), c_k=0.3
-        )
-        site_cut.consume(site_stream)
-        site_sparse.consume(site_stream)
-        # Ship only the sketch (tiny), never the raw stream.
-        coordinator_cut.merge(site_cut)
-        coordinator_sparse.merge(site_sparse)
+    for site in cut_run.sites:
+        print(f"  site {site.site}: {site.tokens} updates → "
+              f"{site.payload_bytes} sketch bytes shipped")
+    sparse_run = sharded_consume(
+        global_stream,
+        functools.partial(sparsifier_sketch, n, shared.derive(2).seed),
+        sites=4, strategy="hash-edge",
+    )
 
     # Coordinator-side answers vs centralised ground truth.
     truth_graph = Graph.from_multiplicities(n, global_stream.multiplicities())
-    result = coordinator_cut.estimate()
+    result = cut_run.sketch.estimate()
     print(f"\nweakest cut: merged-sketch={result.value} "
           f"exact={global_min_cut_value(truth_graph)}")
 
-    sparsifier = coordinator_sparse.sparsifier()
+    sparsifier = sparse_run.sketch.sparsifier()
     report = cut_approximation_report(truth_graph, sparsifier,
                                       sample_cuts=300, seed=1)
     print(f"capacity model: {sparsifier.num_edges}/{truth_graph.num_edges()} "

@@ -3,11 +3,15 @@
 Sub-commands:
 
 * ``list`` — show the experiment registry and workloads;
-* ``run <id> [--full] [--seed N]`` — run one experiment (e1–e10) and
+* ``run <id> [--full] [--seed N]`` — run one experiment (e1–e11) and
   print its table (``all`` runs every experiment);
 * ``demo`` — a 30-second end-to-end tour: build a churny stream,
   sketch it, report min cut, sparsifier quality, triangle frequency,
-  and a spanner.
+  and a spanner;
+* ``distribute --sites K`` — the Section 1.1 multi-site deployment:
+  partition a stream across K sites, consume locally, ship serialised
+  sketches to a coordinator, and answer connectivity / min-cut /
+  sparsifier-cut / spanner-distance queries from the merged sketches.
 """
 
 from __future__ import annotations
@@ -102,6 +106,93 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_distribute(args: argparse.Namespace) -> int:
+    """Simulate the Section 1.1 multi-site deployment end to end."""
+    import functools
+
+    from .core import BaswanaSenSpanner
+    from .distributed import (
+        PARTITION_STRATEGIES,
+        ShardedSketchRunner,
+        forest_sketch,
+        mincut_sketch,
+        partition_stream,
+        sparsifier_sketch,
+    )
+    from .graphs import Graph, global_min_cut_value, measure_stretch
+    from .hashing import HashSource
+    from .streams import churn_stream, planted_partition_graph
+
+    if args.sites < 1:
+        print("error: --sites must be >= 1", file=sys.stderr)
+        return 2
+    if args.strategy not in PARTITION_STRATEGIES:
+        print(
+            f"error: unknown strategy {args.strategy!r} "
+            f"(choose from {', '.join(PARTITION_STRATEGIES)})",
+            file=sys.stderr,
+        )
+        return 2
+
+    seed = args.seed
+    n = 36
+    edges = planted_partition_graph(n, 0.6, 0.12, seed=seed)
+    graph = Graph.from_edges(n, edges)
+    stream = churn_stream(n, edges, seed=seed + 1)
+    print(
+        f"workload: planted partition, n={n}, m={graph.num_edges()}, "
+        f"{len(stream)} tokens → {args.sites} site(s), "
+        f"strategy={args.strategy}, mode={args.mode}"
+    )
+    # 3 × int64 per token on the wire, split across the sites.
+    stream_bytes = 24 * len(stream) // args.sites
+    print(f"shipping the raw stream would cost ~{stream_bytes} bytes per site")
+
+    runners = [
+        ("connectivity (forest)", functools.partial(forest_sketch, n, seed + 2),
+         lambda sk: f"components={len(sk.connected_components())}"),
+        ("min cut", functools.partial(mincut_sketch, n, seed + 3),
+         lambda sk: f"estimate={sk.estimate().value} "
+                    f"exact={global_min_cut_value(graph)}"),
+        ("sparsifier", functools.partial(sparsifier_sketch, n, seed + 4),
+         lambda sk: _sparsifier_answer(sk, graph, seed)),
+    ]
+    for name, factory, answer in runners:
+        runner = ShardedSketchRunner(
+            factory, sites=args.sites, strategy=args.strategy,
+            mode=args.mode, seed=seed,
+        )
+        report = runner.run(stream)
+        per_site = ", ".join(str(s.payload_bytes) for s in report.sites)
+        print(f"{name}: {answer(report.sketch)}")
+        print(
+            f"  bytes/site [{per_site}]  total={report.total_payload_bytes}  "
+            f"wall={report.wall_seconds:.2f}s"
+        )
+
+    shards = partition_stream(stream, args.sites, args.strategy, seed)
+    span = BaswanaSenSpanner(n, k=2, source=HashSource(seed + 5))
+    rep = span.build_sharded(shards)
+    sr = measure_stretch(graph, rep.spanner)
+    print(
+        f"spanner distances (k=2): {rep.edges} edges, max stretch "
+        f"{sr.max_stretch} (bound {rep.stretch_bound}), "
+        f"{rep.batches} adaptive rounds, {rep.shipped_bytes} bytes shipped"
+    )
+    return 0
+
+
+def _sparsifier_answer(sk, graph, seed: int) -> str:
+    from .core import cut_approximation_report
+
+    sp = sk.sparsifier()
+    rep = cut_approximation_report(graph, sp, sample_cuts=200, seed=seed)
+    return (
+        f"{sp.num_edges}/{graph.num_edges()} edges, "
+        f"max cut error {rep.max_relative_error:.3f}"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point."""
     parser = argparse.ArgumentParser(
@@ -124,6 +215,21 @@ def main(argv: list[str] | None = None) -> int:
     p_demo = sub.add_parser("demo", help="30-second end-to-end tour")
     p_demo.add_argument("--seed", type=int, default=0)
     p_demo.set_defaults(func=_cmd_demo)
+
+    p_dist = sub.add_parser(
+        "distribute",
+        help="multi-site sharded sketching (partition → ship → merge)",
+    )
+    p_dist.add_argument("--sites", type=int, default=4,
+                        help="number of simulated sites K (default 4)")
+    p_dist.add_argument("--strategy", default="hash-edge",
+                        help="partition strategy (round-robin, hash-edge, "
+                             "hash-endpoint, contiguous)")
+    p_dist.add_argument("--mode", default="sequential",
+                        choices=["sequential", "process"],
+                        help="site execution mode")
+    p_dist.add_argument("--seed", type=int, default=0)
+    p_dist.set_defaults(func=_cmd_distribute)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -18,7 +18,7 @@ from collections.abc import Iterable
 
 import numpy as np
 
-from ..errors import RecoveryFailed
+from ..errors import RecoveryFailed, incompatible
 from ..hashing import HashSource
 from ..sketch import SparseRecoveryBank
 from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
@@ -51,6 +51,8 @@ class CutEdgesSketch:
             source = HashSource(0xC07)
         self.n = n
         self.k = k
+        #: Seed of the constructing source (serialisation / merge checks).
+        self.source_seed = getattr(source, "seed", None)
         self.bank = SparseRecoveryBank(
             groups=1,
             instances=n,
@@ -93,8 +95,10 @@ class CutEdgesSketch:
 
     def merge(self, other: "CutEdgesSketch") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
-        if other.n != self.n or other.k != self.k:
-            raise ValueError("can only merge identically-configured sketches")
+        if other.n != self.n:
+            raise incompatible("CutEdgesSketch", "n", self.n, other.n)
+        if other.k != self.k:
+            raise incompatible("CutEdgesSketch", "k", self.k, other.k)
         self.bank.merge(other.bank)
 
     def crossing_edges(self, side: Iterable[int]) -> dict[tuple[int, int], int]:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import incompatible
 from ..graphs import Graph
 from ..hashing import HashSource
 from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
@@ -60,6 +61,8 @@ class EdgeConnectivitySketch:
             raise ValueError(f"connectivity parameter k must be >= 1, got {k}")
         self.n = n
         self.k = k
+        #: Seed of the constructing source (serialisation / merge checks).
+        self.source_seed = getattr(source, "seed", None)
         self.groups = [
             SpanningForestSketch(
                 n, source.derive(0xEC, g), rounds=rounds, rows=rows, buckets=buckets
@@ -101,8 +104,10 @@ class EdgeConnectivitySketch:
 
     def merge(self, other: "EdgeConnectivitySketch") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
-        if other.n != self.n or other.k != self.k:
-            raise ValueError("can only merge identically-configured sketches")
+        if other.n != self.n:
+            raise incompatible("EdgeConnectivitySketch", "n", self.n, other.n)
+        if other.k != self.k:
+            raise incompatible("EdgeConnectivitySketch", "k", self.k, other.k)
         for mine, theirs in zip(self.groups, other.groups):
             mine.merge(theirs)
 

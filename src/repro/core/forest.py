@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import SamplerFailed
+from ..errors import SamplerFailed, incompatible
 from ..graphs import UnionFind
 from ..hashing import HashSource
 from ..sketch import L0SamplerBank
@@ -64,6 +64,10 @@ class SpanningForestSketch:
         if n < 2:
             raise ValueError(f"need at least two nodes, got {n}")
         self.n = n
+        #: Seed of the constructing source (serialisation / merge checks).
+        self.source_seed = getattr(source, "seed", None)
+        self.rows = rows
+        self.buckets = buckets
         self.rounds = rounds if rounds is not None else ceil_log2(n) + 2
         if self.rounds < 1:
             raise ValueError(f"rounds must be positive, got {self.rounds}")
@@ -156,8 +160,12 @@ class SpanningForestSketch:
 
     def merge(self, other: "SpanningForestSketch") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
-        if other.n != self.n or other.rounds != self.rounds:
-            raise ValueError("can only merge identically-configured sketches")
+        if other.n != self.n:
+            raise incompatible("SpanningForestSketch", "n", self.n, other.n)
+        if other.rounds != self.rounds:
+            raise incompatible(
+                "SpanningForestSketch", "rounds", self.rounds, other.rounds
+            )
         self.bank.merge(other.bank)
 
     # -- extraction -------------------------------------------------------------
@@ -179,18 +187,26 @@ class SpanningForestSketch:
             if len(components) == 1:
                 break
             merged_any = False
+            decode_failed = False
             for root, members in components.items():
                 try:
                     item, value = self.bank.sample_sum(t, members)
-                except SamplerFailed:
+                except SamplerFailed as err:
+                    # A zero vector means the component has no outgoing
+                    # edge (isolated w.h.p.); a decode failure says
+                    # nothing — a later round's fresh samplers may
+                    # still recover an edge, so it must not end the
+                    # extraction early.
+                    if not getattr(err, "vector_is_zero", False):
+                        decode_failed = True
                     continue
                 a, b = pair_unrank(item, self.n)
                 if uf.union(a, b):
                     forest.append((a, b, abs(value)))
                     merged_any = True
-            if not merged_any and t > 0:
-                # No component found an outgoing edge in a full round;
-                # remaining components are isolated w.h.p.
+            if not merged_any and not decode_failed and t > 0:
+                # Every remaining component reported a zero outgoing
+                # vector in a full round; they are isolated w.h.p.
                 break
         return forest
 

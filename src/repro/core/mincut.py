@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import incompatible
 from ..graphs import Graph, global_min_cut_value
 from ..hashing import HashSource
 from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
@@ -106,6 +107,9 @@ class MinCutSketch:
             source = HashSource(0x5EED)
         self.n = n
         self.epsilon = epsilon
+        self.c_k = c_k
+        #: Seed of the constructing source (serialisation / merge checks).
+        self.source_seed = getattr(source, "seed", None)
         self.k = default_k(n, epsilon, c_k)
         self.levels = levels if levels is not None else 2 * ceil_log2(max(n, 2))
         self._level_source = source.derive(0x17)
@@ -164,8 +168,12 @@ class MinCutSketch:
 
     def merge(self, other: "MinCutSketch") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
-        if other.n != self.n or other.levels != self.levels or other.k != self.k:
-            raise ValueError("can only merge identically-configured sketches")
+        for field in ("n", "levels", "k"):
+            if getattr(other, field) != getattr(self, field):
+                raise incompatible(
+                    "MinCutSketch", field, getattr(self, field),
+                    getattr(other, field),
+                )
         for mine, theirs in zip(self.instances, other.instances):
             mine.merge(theirs)
 

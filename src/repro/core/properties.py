@@ -28,7 +28,7 @@ import math
 
 import numpy as np
 
-from ..errors import StreamError
+from ..errors import StreamError, incompatible
 from ..graphs import global_min_cut_value
 from ..hashing import HashSource
 from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
@@ -55,6 +55,13 @@ class BipartitenessSketch:
         if source is None:
             source = HashSource(0xB1B)
         self.n = n
+        #: Seed of the constructing source (serialisation / merge checks).
+        self.source_seed = getattr(source, "seed", None)
+        #: The constructor's ``rounds`` argument verbatim (``None`` means
+        #: each forest picks its own default — which differs between the
+        #: base and doubled universes, so the raw value must be kept for
+        #: faithful reconstruction).
+        self.ctor_rounds = rounds
         self.base = SpanningForestSketch(n, source.derive(1), rounds=rounds)
         self.doubled = SpanningForestSketch(
             2 * n, source.derive(2), rounds=rounds
@@ -92,7 +99,7 @@ class BipartitenessSketch:
     def merge(self, other: "BipartitenessSketch") -> None:
         """Merge an identically-seeded sketch."""
         if other.n != self.n:
-            raise ValueError("can only merge identically-configured sketches")
+            raise incompatible("BipartitenessSketch", "n", self.n, other.n)
         self.base.merge(other.base)
         self.doubled.merge(other.doubled)
 
@@ -179,6 +186,9 @@ class MSTWeightSketch:
         if source is None:
             source = HashSource(0x357)
         self.n = n
+        #: Seed of the constructing source (serialisation / merge checks).
+        self.source_seed = getattr(source, "seed", None)
+        self.ctor_rounds = rounds
         self.max_weight = max_weight
         self.epsilon = epsilon
         if epsilon == 0.0:
@@ -240,11 +250,12 @@ class MSTWeightSketch:
 
     def merge(self, other: "MSTWeightSketch") -> None:
         """Merge an identically-seeded sketch."""
-        if (
-            other.n != self.n
-            or other.thresholds != self.thresholds
-        ):
-            raise ValueError("can only merge identically-configured sketches")
+        for field in ("n", "thresholds"):
+            if getattr(other, field) != getattr(self, field):
+                raise incompatible(
+                    "MSTWeightSketch", field, getattr(self, field),
+                    getattr(other, field),
+                )
         for mine, theirs in zip(self.sketches, other.sketches):
             mine.merge(theirs)
 

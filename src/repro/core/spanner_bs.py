@@ -56,6 +56,9 @@ class SpannerBuildReport:
     stretch_bound: float
     memory_cells: int
     edges: int
+    #: Bytes shipped site → coordinator across all batches of a sharded
+    #: build (0 for single-site builds, where nothing crosses a wire).
+    shipped_bytes: int = 0
 
 
 class BaswanaSenSpanner:
@@ -99,30 +102,55 @@ class BaswanaSenSpanner:
         self.sample_copies = sample_copies
         self._memory_cells = 0
         self._batches = 0
+        self._shipped_bytes = 0
 
     # -- batch drivers -----------------------------------------------------------
 
     def build(self, stream: DynamicGraphStream) -> SpannerBuildReport:
         """Run all ``k`` adaptive batches over the (replayable) stream."""
-        if stream.n != self.n:
-            raise ValueError("stream and spanner node universes differ")
+        return self.build_sharded([stream])
+
+    def build_sharded(
+        self, shards: list[DynamicGraphStream]
+    ) -> SpannerBuildReport:
+        """Run the adaptive build over a multi-site partitioned stream.
+
+        The coordinator-orchestrated round protocol of Section 1.1:
+        each adaptive batch, every site fills the batch's sketches over
+        *its shard only* and ships them (serialised banks); the
+        coordinator merges by addition — bit-identical to the
+        single-stream sketches, by linearity — and takes the batch's
+        join/finish decisions centrally.  The resulting spanner is
+        therefore *exactly* the spanner ``build`` would produce on the
+        concatenated stream, for any shard count or assignment.
+
+        With a single shard no serialisation round trip is performed
+        (``shipped_bytes`` stays 0).
+        """
+        if not shards:
+            raise ValueError("need at least one shard")
+        for shard in shards:
+            if shard.n != self.n:
+                raise ValueError("shard and spanner node universes differ")
         self._memory_cells = 0
         self._batches = 0
+        self._shipped_bytes = 0
         spanner = Graph(self.n)
         state = ClusterState(self.n)
         sampled: set[int] = set(range(self.n))  # S_0 = V
 
         for phase in range(1, self.k):
             sampled = self._subsample_roots(sampled, phase)
-            self._run_growth_batch(stream, state, sampled, spanner, phase)
+            self._run_growth_batch(shards, state, sampled, spanner, phase)
 
-        self._run_cleanup_batch(stream, state, spanner)
+        self._run_cleanup_batch(shards, state, spanner)
         return SpannerBuildReport(
             spanner=spanner,
             batches=self._batches,
             stretch_bound=2 * self.k - 1,
             memory_cells=self._memory_cells,
             edges=spanner.num_edges(),
+            shipped_bytes=self._shipped_bytes,
         )
 
     def _subsample_roots(self, previous: set[int], phase: int) -> set[int]:
@@ -130,9 +158,24 @@ class BaswanaSenSpanner:
         coin = self.source.derive(0x5A, phase)
         return {r for r in previous if bool(coin.bernoulli(r, self.sample_prob))}
 
+    def _make_growth_sketches(
+        self, batch_source
+    ) -> tuple[L0SamplerBank, NeighborhoodSketch]:
+        """This phase's two sketch structures (identical at every site)."""
+        join_bank = L0SamplerBank(
+            families=self.sample_copies,
+            samplers=self.n,
+            domain=pair_count(self.n),
+            source=batch_source.derive(1),
+            rows=2,
+            buckets=4,
+        )
+        hood = NeighborhoodSketch(self.n, self.buckets, batch_source.derive(2))
+        return join_bank, hood
+
     def _run_growth_batch(
         self,
-        stream: DynamicGraphStream,
+        shards: list[DynamicGraphStream],
         state: ClusterState,
         sampled: set[int],
         spanner: Graph,
@@ -143,19 +186,19 @@ class BaswanaSenSpanner:
         batch_source = self.source.derive(0xB1, phase)
 
         # Sketch 1: per-vertex ℓ₀ samplers over edges into sampled trees.
-        join_bank = L0SamplerBank(
-            families=self.sample_copies,
-            samplers=self.n,
-            domain=pair_count(self.n),
-            source=batch_source.derive(1),
-            rows=2,
-            buckets=4,
-        )
         # Sketch 2: bucketed per-adjacent-tree witnesses.
-        hood = NeighborhoodSketch(self.n, self.buckets, batch_source.derive(2))
+        join_bank, hood = self._make_growth_sketches(batch_source)
 
-        self._fill_growth_sketches(stream, state, sampled, join_bank)
-        hood.consume(stream, state)
+        if len(shards) == 1:
+            self._fill_growth_sketches(shards[0], state, sampled, join_bank)
+            hood.consume(shards[0], state)
+        else:
+            for shard in shards:
+                site_join, site_hood = self._make_growth_sketches(batch_source)
+                self._fill_growth_sketches(shard, state, sampled, site_join)
+                site_hood.consume(shard, state)
+                join_bank.merge(self._ship(site_join))
+                hood.bank.merge(self._ship(site_hood.bank))
         self._memory_cells += join_bank.memory_cells() + hood.memory_cells()
 
         # Post-processing: decide every live vertex whose root died.
@@ -234,15 +277,35 @@ class BaswanaSenSpanner:
             return True
         return False
 
+    def _ship(self, bank: L0SamplerBank) -> L0SamplerBank:
+        """Serialise a site bank and reconstitute it coordinator-side.
+
+        The dump → load round trip is the site → coordinator wire; its
+        size is accumulated into ``shipped_bytes``.
+        """
+        from ..sketch.serialize import dump_l0_bank, load_l0_bank
+
+        payload = dump_l0_bank(bank)
+        self._shipped_bytes += len(payload)
+        return load_l0_bank(payload)
+
     def _run_cleanup_batch(
-        self, stream: DynamicGraphStream, state: ClusterState, spanner: Graph
+        self, shards: list[DynamicGraphStream], state: ClusterState,
+        spanner: Graph,
     ) -> None:
         """Final batch: one witness edge per adjacent surviving tree."""
         self._batches += 1
-        hood = NeighborhoodSketch(
-            self.n, self.buckets, self.source.derive(0xB1, self.k, 0xF)
-        )
-        hood.consume(stream, state)
+        hood_source = self.source.derive(0xB1, self.k, 0xF)
+        hood = NeighborhoodSketch(self.n, self.buckets, hood_source)
+        if len(shards) == 1:
+            hood.consume(shards[0], state)
+        else:
+            for shard in shards:
+                site_hood = NeighborhoodSketch(
+                    self.n, self.buckets, hood_source
+                )
+                site_hood.consume(shard, state)
+                hood.bank.merge(self._ship(site_hood.bank))
         self._memory_cells += hood.memory_cells()
         for u in range(self.n):
             if not state.alive(u):

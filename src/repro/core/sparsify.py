@@ -34,7 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import RecoveryFailed
+from ..errors import RecoveryFailed, incompatible
 from ..graphs import Graph, gomory_hu_tree
 from ..hashing import HashSource
 from ..sketch import SparseRecoveryBank
@@ -99,7 +99,11 @@ class Sparsification:
             source = HashSource(0xBE77)
         self.n = n
         self.epsilon = epsilon
+        self.c_k = c_k
+        self.c_rough = c_rough
         self.c_level = c_level
+        #: Seed of the constructing source (serialisation / merge checks).
+        self.source_seed = getattr(source, "seed", None)
         self.levels = levels if levels is not None else 2 * ceil_log2(max(n, 2))
         self.k = default_sparsifier_k(n, epsilon, c_k)
         self.rough = SimpleSparsification(
@@ -169,8 +173,12 @@ class Sparsification:
 
     def merge(self, other: "Sparsification") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
-        if other.n != self.n or other.levels != self.levels or other.k != self.k:
-            raise ValueError("can only merge identically-configured sketches")
+        for field in ("n", "levels", "k"):
+            if getattr(other, field) != getattr(self, field):
+                raise incompatible(
+                    "Sparsification", field, getattr(self, field),
+                    getattr(other, field),
+                )
         self.rough.merge(other.rough)
         self.recovery.merge(other.recovery)
 

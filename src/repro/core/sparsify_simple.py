@@ -32,6 +32,7 @@ import math
 
 import numpy as np
 
+from ..errors import incompatible
 from ..graphs import Graph, gomory_hu_tree
 from ..hashing import HashSource
 from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
@@ -96,6 +97,9 @@ class SimpleSparsification:
             raise ValueError(f"weight_scale must be >= 1, got {weight_scale}")
         self.n = n
         self.epsilon = epsilon
+        self.c_k = c_k
+        #: Seed of the constructing source (serialisation / merge checks).
+        self.source_seed = getattr(source, "seed", None)
         self.k = default_sparsifier_k(n, epsilon, c_k)
         self.weight_scale = weight_scale
         self.levels = levels if levels is not None else 2 * ceil_log2(max(n, 2))
@@ -148,12 +152,12 @@ class SimpleSparsification:
 
     def merge(self, other: "SimpleSparsification") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
-        if (
-            other.n != self.n
-            or other.levels != self.levels
-            or other.k != self.k
-        ):
-            raise ValueError("can only merge identically-configured sketches")
+        for field in ("n", "levels", "k"):
+            if getattr(other, field) != getattr(self, field):
+                raise incompatible(
+                    "SimpleSparsification", field, getattr(self, field),
+                    getattr(other, field),
+                )
         for mine, theirs in zip(self.instances, other.instances):
             mine.merge(theirs)
 

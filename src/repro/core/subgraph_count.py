@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import NotSupportedError, SamplerFailed
+from ..errors import NotSupportedError, SamplerFailed, incompatible
 from ..hashing import HashSource
 from ..sketch import L0SamplerBank, pair_positions_k3, rows_for_order
 from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
@@ -104,6 +104,8 @@ class SubgraphSketch:
         self.n = n
         self.order = order
         self.samplers = samplers
+        #: Seed of the constructing source (serialisation / merge checks).
+        self.source_seed = getattr(source, "seed", None)
         self.matrix_rows = rows_for_order(order)
         self.domain = comb(n, order)
         self.bank = L0SamplerBank(
@@ -204,12 +206,12 @@ class SubgraphSketch:
 
     def merge(self, other: "SubgraphSketch") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
-        if (
-            other.n != self.n
-            or other.order != self.order
-            or other.samplers != self.samplers
-        ):
-            raise ValueError("can only merge identically-configured sketches")
+        for field in ("n", "order", "samplers"):
+            if getattr(other, field) != getattr(self, field):
+                raise incompatible(
+                    "SubgraphSketch", field, getattr(self, field),
+                    getattr(other, field),
+                )
         self.bank.merge(other.bank)
 
     def _column_deltas(

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import incompatible
 from ..graphs import Graph
 from ..hashing import HashSource
 from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
@@ -74,6 +75,9 @@ class WeightedSparsification:
             source = HashSource(0x3E1D)
         self.n = n
         self.epsilon = epsilon
+        self.c_k = c_k
+        #: Seed of the constructing source (serialisation / merge checks).
+        self.source_seed = getattr(source, "seed", None)
         self.max_weight = max_weight
         self.num_classes = ceil_log2(max_weight + 1)
         self.num_classes = max(self.num_classes, 1)
@@ -131,12 +135,12 @@ class WeightedSparsification:
 
     def merge(self, other: "WeightedSparsification") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
-        if (
-            other.n != self.n
-            or other.num_classes != self.num_classes
-            or other.max_weight != self.max_weight
-        ):
-            raise ValueError("can only merge identically-configured sketches")
+        for field in ("n", "num_classes", "max_weight"):
+            if getattr(other, field) != getattr(self, field):
+                raise incompatible(
+                    "WeightedSparsification", field, getattr(self, field),
+                    getattr(other, field),
+                )
         for mine, theirs in zip(self.classes, other.classes):
             mine.merge(theirs)
 

@@ -1,0 +1,242 @@
+"""The coordinator side of multi-site sketching.
+
+:class:`ShardedSketchRunner` simulates the Section 1.1 deployment end
+to end: partition the stream, let each of ``K`` sites consume its shard
+through the columnar path, serialise every site's sketch to bytes (the
+only thing that crosses the site → coordinator boundary), and
+reconstitute + linearly merge at the coordinator — with parameter/seed
+verification on every received payload.
+
+Execution modes:
+
+* ``"sequential"`` — sites run in-process, one after another.  Zero
+  overhead; the default for tests and small workloads.
+* ``"process"`` — sites run in a ``multiprocessing.Pool``, one task per
+  site.  The sketch factory and the shard columns must be picklable
+  (module-level factories / ``functools.partial`` qualify).  Site
+  results still travel as serialised bytes, so the measured payload is
+  exactly what a networked deployment would ship.
+
+Either mode produces a byte-identical coordinator sketch — pinned by
+``tests/test_distributed_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from ..errors import StreamError
+from ..sketch.serialize import dump_sketch, load_sketch
+from ..streams import DynamicGraphStream, StreamBatch
+from .partition import partition_batch
+
+__all__ = [
+    "SiteReport",
+    "ShardedRunReport",
+    "ShardedSketchRunner",
+    "sharded_consume",
+]
+
+#: Execution modes accepted by :class:`ShardedSketchRunner`.
+EXECUTION_MODES = ("sequential", "process")
+
+
+@dataclass(frozen=True, slots=True)
+class SiteReport:
+    """What one site did and shipped.
+
+    ``payload_bytes`` is the serialised sketch size — the per-site
+    communication cost, *independent of* ``tokens`` (the point of the
+    model).
+    """
+
+    site: int
+    tokens: int
+    payload_bytes: int
+    seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class ShardedRunReport:
+    """Outcome of one sharded run.
+
+    Attributes
+    ----------
+    sketch:
+        The coordinator's merged sketch — query it exactly as if it had
+        consumed the whole stream.
+    sites:
+        Per-site consumption/communication reports.
+    strategy, mode:
+        The partition strategy and execution mode used.
+    wall_seconds:
+        End-to-end wall-clock of the run (partition through merge).
+    """
+
+    sketch: object
+    sites: list[SiteReport] = field(default_factory=list)
+    strategy: str = "hash-edge"
+    mode: str = "sequential"
+    wall_seconds: float = 0.0
+
+    @property
+    def total_payload_bytes(self) -> int:
+        """Total bytes shipped from all sites to the coordinator."""
+        return sum(s.payload_bytes for s in self.sites)
+
+    @property
+    def max_payload_bytes(self) -> int:
+        """Largest single-site payload (the per-link bandwidth cost)."""
+        return max((s.payload_bytes for s in self.sites), default=0)
+
+
+def _consume_shard(args: tuple) -> tuple[int, bytes, int, float]:
+    """Site worker: build the sketch, consume the shard, serialise.
+
+    Module-level so ``multiprocessing`` can pickle it; takes/returns
+    only picklable values (numpy columns in, sketch bytes out).
+    """
+    site, factory, n, lo, hi, delta, ranks = args
+    t0 = time.perf_counter()
+    sketch = factory()
+    batch = StreamBatch(n, lo, hi, delta, ranks=ranks)
+    if hasattr(sketch, "consume_batch"):
+        sketch.consume_batch(batch)
+    else:  # pragma: no cover - every shipped sketch has the columnar path
+        raise TypeError(
+            f"{type(sketch).__name__} has no consume_batch; the sharded "
+            "runner requires the columnar ingestion path"
+        )
+    payload = dump_sketch(sketch)
+    return site, payload, len(batch), time.perf_counter() - t0
+
+
+class ShardedSketchRunner:
+    """Fan a stream out to ``K`` sites and merge their sketches.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable returning a fresh sketch.  Every site
+        (and the coordinator) calls it, so it must produce
+        *identically-seeded* sketches — linearity demands it, and the
+        coordinator verifies it on every received payload.  For
+        ``mode="process"`` it must be picklable.
+    sites:
+        Number of simulated sites ``K >= 1``.
+    strategy:
+        Partition strategy name (see
+        :data:`~repro.distributed.partition.PARTITION_STRATEGIES`).
+    mode:
+        ``"sequential"`` or ``"process"``.
+    seed:
+        Seed for the hash-based partition strategies.
+    processes:
+        Pool size for ``mode="process"`` (default: one per site).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], object],
+        sites: int = 4,
+        strategy: str = "hash-edge",
+        mode: str = "sequential",
+        seed: int = 0,
+        processes: int | None = None,
+    ):
+        if sites < 1:
+            raise StreamError(f"need at least one site, got {sites}")
+        if mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode {mode!r}; "
+                f"choose from {', '.join(EXECUTION_MODES)}"
+            )
+        self.factory = factory
+        self.sites = sites
+        self.strategy = strategy
+        self.mode = mode
+        self.seed = seed
+        self.processes = processes
+
+    def run(self, stream: DynamicGraphStream) -> ShardedRunReport:
+        """Partition, consume per site, ship bytes, merge, report."""
+        t_start = time.perf_counter()
+        shards = partition_batch(
+            stream.as_batch(), self.sites, self.strategy, self.seed
+        )
+        payloads = [
+            (s, self.factory, stream.n, shard.lo, shard.hi, shard.delta,
+             shard.ranks)
+            for s, shard in enumerate(shards)
+        ]
+        results = self._execute(payloads)
+        return self._merge_results(results, self.strategy, self.mode, t_start)
+
+    def run_shards(
+        self, shards: Sequence[DynamicGraphStream]
+    ) -> ShardedRunReport:
+        """Run over pre-partitioned shards (arbitrary external split)."""
+        if len(shards) != self.sites:
+            raise StreamError(
+                f"runner configured for {self.sites} sites, got "
+                f"{len(shards)} shards"
+            )
+        if len({shard.n for shard in shards}) > 1:
+            raise StreamError("shards span different node universes")
+        t_start = time.perf_counter()
+        payloads = []
+        for s, shard in enumerate(shards):
+            batch = shard.as_batch()
+            payloads.append(
+                (s, self.factory, shard.n, batch.lo, batch.hi, batch.delta,
+                 batch.ranks)
+            )
+        results = self._execute(payloads)
+        return self._merge_results(results, "external", self.mode, t_start)
+
+    def _execute(self, payloads: list[tuple]) -> list[tuple]:
+        """Dispatch site work according to the configured mode."""
+        if self.mode == "process" and self.sites > 1:
+            workers = self.processes or self.sites
+            with multiprocessing.Pool(workers) as pool:
+                return pool.map(_consume_shard, payloads)
+        return [_consume_shard(p) for p in payloads]
+
+    def _merge_results(
+        self,
+        results: list[tuple[int, bytes, int, float]],
+        strategy: str,
+        mode: str,
+        t_start: float,
+    ) -> ShardedRunReport:
+        """Coordinator side: load each payload, verify, merge, report."""
+        coordinator = self.factory()
+        reports: list[SiteReport] = []
+        for site, payload, tokens, seconds in results:
+            received = load_sketch(payload, like=coordinator)
+            coordinator.merge(received)
+            reports.append(SiteReport(site, tokens, len(payload), seconds))
+        return ShardedRunReport(
+            sketch=coordinator,
+            sites=reports,
+            strategy=strategy,
+            mode=mode,
+            wall_seconds=time.perf_counter() - t_start,
+        )
+
+
+def sharded_consume(
+    stream: DynamicGraphStream,
+    factory: Callable[[], object],
+    sites: int = 4,
+    strategy: str = "hash-edge",
+    mode: str = "sequential",
+    seed: int = 0,
+) -> ShardedRunReport:
+    """One-call convenience wrapper around :class:`ShardedSketchRunner`."""
+    return ShardedSketchRunner(
+        factory, sites=sites, strategy=strategy, mode=mode, seed=seed
+    ).run(stream)

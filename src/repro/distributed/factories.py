@@ -1,0 +1,39 @@
+"""Picklable seeded sketch factories for sharded runs.
+
+Every site of a :class:`~repro.distributed.coordinator.
+ShardedSketchRunner` — possibly in another process — must build an
+*identically-seeded* sketch, so factories have to be module-level
+(picklable) and fully determined by their arguments.  These cover the
+sketches the CLI, the e11 experiment, the distribute benchmark, and the
+examples all fan out; bind the arguments with ``functools.partial``:
+
+    functools.partial(mincut_sketch, n, seed, c_k=1.0)
+"""
+
+from __future__ import annotations
+
+from ..core import MinCutSketch, SimpleSparsification, SpanningForestSketch
+from ..hashing import HashSource
+
+__all__ = ["forest_sketch", "mincut_sketch", "sparsifier_sketch"]
+
+
+def forest_sketch(n: int, seed: int) -> SpanningForestSketch:
+    """Spanning-forest / connectivity sketch."""
+    return SpanningForestSketch(n, HashSource(seed))
+
+
+def mincut_sketch(
+    n: int, seed: int, epsilon: float = 0.5, c_k: float = 1.0
+) -> MinCutSketch:
+    """MINCUT hierarchy (Fig. 1)."""
+    return MinCutSketch(n, epsilon=epsilon, source=HashSource(seed), c_k=c_k)
+
+
+def sparsifier_sketch(
+    n: int, seed: int, epsilon: float = 0.5, c_k: float = 0.3
+) -> SimpleSparsification:
+    """SIMPLE-SPARSIFICATION hierarchy (Fig. 2)."""
+    return SimpleSparsification(
+        n, epsilon=epsilon, source=HashSource(seed), c_k=c_k
+    )

@@ -28,6 +28,26 @@ class GraphError(ReproError):
     """An ill-formed graph or an invalid graph-algorithm request."""
 
 
+class SketchCompatibilityError(ReproError, ValueError):
+    """Two sketches cannot be combined (merge / load-and-merge).
+
+    Linearity only holds between sketches of the *same measurement
+    matrix*: identical parameters and identical hash seeds.  Every
+    ``merge()`` in the library raises this single type on mismatch, and
+    the serialisation layer raises it when a deserialised sketch does
+    not match the sketch it is being reconciled against.  Subclasses
+    :class:`ValueError` so pre-existing callers catching ``ValueError``
+    keep working.
+    """
+
+
+def incompatible(kind: str, field: str, ours: object, theirs: object) -> "SketchCompatibilityError":
+    """Build the standard merge-compatibility error message."""
+    return SketchCompatibilityError(
+        f"cannot merge {kind}: {field} differs ({ours!r} != {theirs!r})"
+    )
+
+
 class SketchFailure(ReproError):
     """Base class for *expected*, probabilistic sketch failures.
 

@@ -9,10 +9,17 @@ from .base import LinearSketch
 from .l0 import L0Sampler, L0SamplerBank
 from .onesparse import OneSparseCell
 from .serialize import (
+    SketchCodec,
     dump_l0_bank,
     dump_recovery_bank,
+    dump_sketch,
     load_l0_bank,
     load_recovery_bank,
+    load_sketch,
+    peek_sketch_meta,
+    register_sketch_codec,
+    serializable_sketch_kinds,
+    sketch_kind_of,
 )
 from .sparse_recovery import SparseRecovery, SparseRecoveryBank, bucket_count_for
 from .squash import (
@@ -32,12 +39,19 @@ __all__ = [
     "OneSparseCell",
     "SparseRecovery",
     "SparseRecoveryBank",
+    "SketchCodec",
     "bucket_count_for",
     "decode_cells",
     "dump_l0_bank",
     "dump_recovery_bank",
+    "dump_sketch",
     "load_l0_bank",
     "load_recovery_bank",
+    "load_sketch",
+    "peek_sketch_meta",
+    "register_sketch_codec",
+    "serializable_sketch_kinds",
+    "sketch_kind_of",
     "is_valid_encoding",
     "pair_position_in_subset",
     "pair_positions_k3",

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import SketchCompatibilityError
 from ..hashing import MERSENNE31, HashSource
 from ..hashing.field import mod_mersenne31, powmod_array
 
@@ -106,7 +107,9 @@ class CellBank:
             or other.z1 != self.z1
             or other.z2 != self.z2
         ):
-            raise ValueError("can only merge banks with identical shape and seed")
+            raise SketchCompatibilityError(
+                "can only merge banks with identical shape and seed"
+            )
         self.phi += other.phi
         self.iota += other.iota
         self.fp1 = mod_mersenne31(self.fp1 + other.fp1)

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import SamplerFailed
+from ..errors import SamplerFailed, SketchCompatibilityError, incompatible
 from ..hashing import HashSource
 from ..util import ceil_log2
 from .bank import CellBank, decode_cells
@@ -102,7 +102,9 @@ class L0Sampler(LinearSketch):
     def merge(self, other: "LinearSketch") -> None:
         """Add a sampler with identical seed and shape."""
         if not isinstance(other, L0Sampler) or other.domain != self.domain:
-            raise ValueError("can only merge L0Samplers over the same domain")
+            raise SketchCompatibilityError(
+                "can only merge L0Samplers over the same domain"
+            )
         for lv in range(self.levels + 1):
             for r in range(self.rows):
                 for b in range(self.buckets):
@@ -268,7 +270,17 @@ class L0SamplerBank:
             or other.rows != self.rows
             or other.buckets != self.buckets
         ):
-            raise ValueError("can only merge identically-shaped banks")
+            raise SketchCompatibilityError(
+                "can only merge identically-shaped banks"
+            )
+        if (
+            self.source_seed is not None
+            and other.source_seed is not None
+            and other.source_seed != self.source_seed
+        ):
+            raise incompatible(
+                "L0SamplerBank", "seed", self.source_seed, other.source_seed
+            )
         self.bank.merge(other.bank)
 
     # -- queries ---------------------------------------------------------------

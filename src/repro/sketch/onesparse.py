@@ -20,7 +20,7 @@ same cell vectorised across millions of instances.
 
 from __future__ import annotations
 
-from ..errors import SketchFailure
+from ..errors import SketchCompatibilityError, SketchFailure
 from ..hashing import MERSENNE31, HashSource, powmod
 from .base import LinearSketch
 
@@ -69,7 +69,9 @@ class OneSparseCell(LinearSketch):
             or other.domain != self.domain
             or other._seed != self._seed
         ):
-            raise ValueError("can only merge OneSparseCells with equal seed/domain")
+            raise SketchCompatibilityError(
+                "can only merge OneSparseCells with equal seed/domain"
+            )
         self.phi += other.phi
         self.iota += other.iota
         self.fp1 = (self.fp1 + other.fp1) % MERSENNE31

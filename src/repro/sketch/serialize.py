@@ -4,25 +4,48 @@ The distributed-stream story (Section 1.1) requires sketches to travel:
 each site summarises its sub-stream locally and sends the *sketch* —
 not the stream — to a coordinator, which merges by addition.  This
 module provides a compact, dependency-free binary format (numpy ``npz``
-inside bytes) for the two bank types and the sketches built on them.
+inside bytes) in two layers:
+
+* the two primitive bank formats (``dump_l0_bank`` / ``dump_recovery_
+  bank`` and their loaders), kept for direct bank-level workflows; and
+* a **generic sketch registry**: every high-level sketch class (spanning
+  forest, k-EDGECONNECT, MINCUT, the sparsifiers, the subgraph-count
+  sketch, ...) registers a :class:`SketchCodec` describing how to list
+  its constituent cell banks and how to rebuild an empty twin from its
+  constructor parameters.  :func:`dump_sketch` then works for any
+  registered object and :func:`load_sketch` reconstructs it — verifying
+  parameters, seed, and cell-array shapes before accepting the payload.
 
 Only identically-parameterised, identically-seeded sketches merge, so
 the format stores the constructor parameters and seeds alongside the
-cell arrays and :func:`loads`-side constructors verify them.
+cell arrays; ``load_sketch(data, like=...)`` additionally refuses blobs
+whose parameters or seed differ from a local reference sketch, raising
+:class:`~repro.errors.SketchCompatibilityError`.
 """
 
 from __future__ import annotations
 
 import io
 import json
+from dataclasses import dataclass
+from typing import Any, Callable
 
 import numpy as np
 
-from ..hashing import HashSource
+from ..errors import SketchCompatibilityError
+from ..hashing import MERSENNE31, HashSource
+from .bank import CellBank
 from .l0 import L0SamplerBank
 from .sparse_recovery import SparseRecoveryBank
 
 __all__ = [
+    "SketchCodec",
+    "register_sketch_codec",
+    "serializable_sketch_kinds",
+    "sketch_kind_of",
+    "dump_sketch",
+    "load_sketch",
+    "peek_sketch_meta",
     "dump_l0_bank",
     "load_l0_bank",
     "dump_recovery_bank",
@@ -45,18 +68,237 @@ def _pack(kind: str, meta: dict, arrays: dict[str, np.ndarray]) -> bytes:
     return buf.getvalue()
 
 
-def _unpack(data: bytes, kind: str) -> tuple[dict, dict[str, np.ndarray]]:
+def _read_blob(data: bytes) -> tuple[dict, dict[str, np.ndarray]]:
+    """Parse a blob into (header, arrays), with clear corruption errors."""
     buf = io.BytesIO(data)
-    with np.load(buf) as npz:
-        header = json.loads(bytes(npz["__header__"]).decode("utf-8"))
-        arrays = {k: npz[k] for k in npz.files if k != "__header__"}
+    try:
+        with np.load(buf) as npz:
+            header = json.loads(bytes(npz["__header__"]).decode("utf-8"))
+            arrays = {k: npz[k] for k in npz.files if k != "__header__"}
+    except Exception as err:  # zipfile.BadZipFile, KeyError, json errors...
+        raise ValueError(
+            "not a repro sketch blob (corrupt or foreign bytes)"
+        ) from err
     if header.get("__magic__") != _MAGIC:
-        raise ValueError("not a repro sketch blob")
+        raise ValueError(
+            f"not a repro sketch blob (bad magic {header.get('__magic__')!r})"
+        )
+    return header, arrays
+
+
+def _unpack(data: bytes, kind: str) -> tuple[dict, dict[str, np.ndarray]]:
+    header, arrays = _read_blob(data)
     if header.get("__kind__") != kind:
         raise ValueError(
             f"blob holds a {header.get('__kind__')!r}, expected {kind!r}"
         )
     return header, arrays
+
+
+# -- generic sketch registry ---------------------------------------------------
+
+_SKETCH_KIND_PREFIX = "sketch:"
+
+
+@dataclass(frozen=True)
+class SketchCodec:
+    """How to (de)serialise one sketch class.
+
+    Attributes
+    ----------
+    kind:
+        Stable format name stored in the blob header.
+    cls:
+        The sketch class this codec handles (matched exactly, not by
+        subclass, so a subclass must register its own codec).
+    params:
+        ``obj -> dict`` of JSON-able constructor parameters (excluding
+        the seed, which the dump layer adds).
+    construct:
+        ``meta -> obj`` rebuilding a fresh, empty, identically-seeded
+        sketch from the stored parameters (``meta["seed"]`` included).
+    banks:
+        ``obj -> list[CellBank]`` in a deterministic order; the dump is
+        the concatenation of their cell arrays.
+    """
+
+    kind: str
+    cls: type
+    params: Callable[[Any], dict]
+    construct: Callable[[dict], Any]
+    banks: Callable[[Any], list[CellBank]]
+
+
+_CODECS_BY_KIND: dict[str, SketchCodec] = {}
+_CODECS_BY_CLASS: dict[type, SketchCodec] = {}
+
+
+def register_sketch_codec(codec: SketchCodec) -> None:
+    """Register a codec (idempotent for identical re-registration)."""
+    existing = _CODECS_BY_KIND.get(codec.kind)
+    if existing is not None and existing.cls is not codec.cls:
+        raise ValueError(
+            f"sketch kind {codec.kind!r} already registered for "
+            f"{existing.cls.__name__}"
+        )
+    _CODECS_BY_KIND[codec.kind] = codec
+    _CODECS_BY_CLASS[codec.cls] = codec
+
+
+def _ensure_codecs_loaded() -> None:
+    """Import the modules that register codecs for the core sketches.
+
+    Deferred so that :mod:`repro.sketch` stays importable on its own;
+    :mod:`repro.core.codecs` imports this module in turn.
+    """
+    from ..core import codecs  # noqa: F401  (import-for-side-effect)
+
+
+def serializable_sketch_kinds() -> tuple[str, ...]:
+    """Registered kind names (sorted)."""
+    _ensure_codecs_loaded()
+    return tuple(sorted(_CODECS_BY_KIND))
+
+
+def sketch_kind_of(sketch: Any) -> str:
+    """The registered kind name of ``sketch`` (raises ``TypeError`` if none)."""
+    _ensure_codecs_loaded()
+    codec = _CODECS_BY_CLASS.get(type(sketch))
+    if codec is None:
+        raise TypeError(
+            f"{type(sketch).__name__} has no registered sketch codec; "
+            f"known kinds: {', '.join(sorted(_CODECS_BY_KIND))}"
+        )
+    return codec.kind
+
+
+def dump_sketch(sketch: Any, seed: int | None = None) -> bytes:
+    """Serialise any registered sketch object to bytes.
+
+    The blob carries the constructor parameters, the master seed, and
+    the concatenated cell arrays of every constituent bank — everything
+    a coordinator needs to rebuild an identically-seeded twin and merge
+    it (:func:`load_sketch`).  ``seed`` overrides the recorded
+    ``source_seed`` for sketches built from non-seeded sources.
+    """
+    _ensure_codecs_loaded()
+    codec = _CODECS_BY_CLASS.get(type(sketch))
+    if codec is None:
+        raise TypeError(
+            f"{type(sketch).__name__} has no registered sketch codec; "
+            f"known kinds: {', '.join(sorted(_CODECS_BY_KIND))}"
+        )
+    if seed is None:
+        seed = getattr(sketch, "source_seed", None)
+    if seed is None:
+        raise ValueError(
+            f"{type(sketch).__name__} has no recorded seed; pass one explicitly"
+        )
+    banks = codec.banks(sketch)
+    meta = dict(codec.params(sketch))
+    meta["seed"] = int(seed)
+    meta["cells"] = [int(b.size) for b in banks]
+    arrays = {
+        "phi": np.concatenate([b.phi for b in banks]),
+        "iota": np.concatenate([b.iota for b in banks]),
+        "fp1": np.concatenate([b.fp1 for b in banks]),
+        "fp2": np.concatenate([b.fp2 for b in banks]),
+    }
+    return _pack(_SKETCH_KIND_PREFIX + codec.kind, meta, arrays)
+
+
+def load_sketch(data: bytes, like: Any | None = None) -> Any:
+    """Reconstruct a sketch serialised by :func:`dump_sketch`.
+
+    The stored parameters rebuild a fresh identically-seeded sketch and
+    the cell arrays are copied in, after verifying that the bank layout
+    implied by the parameters matches the payload exactly (mismatched
+    or tampered parameters refuse to load).
+
+    Parameters
+    ----------
+    like:
+        Optional reference sketch.  When given, the blob must describe
+        the *same* sketch type, parameters, and seed; any difference
+        raises :class:`~repro.errors.SketchCompatibilityError` naming
+        the offending fields.  Use this before merging a received
+        sketch into a local one.
+    """
+    _ensure_codecs_loaded()
+    header, arrays = _read_blob(data)
+    kind = header.get("__kind__", "")
+    if not isinstance(kind, str) or not kind.startswith(_SKETCH_KIND_PREFIX):
+        raise ValueError(
+            f"blob holds a {kind!r}, not a registry-serialised sketch"
+        )
+    codec = _CODECS_BY_KIND.get(kind[len(_SKETCH_KIND_PREFIX):])
+    if codec is None:
+        raise ValueError(f"unknown sketch kind {kind!r}")
+    if like is not None:
+        _verify_like(codec, header, like)
+    sketch = codec.construct(header)
+    banks = codec.banks(sketch)
+    cells = header.get("cells")
+    if cells != [int(b.size) for b in banks]:
+        raise ValueError(
+            f"blob cell layout {cells} does not match the layout "
+            f"reconstructed from its parameters — corrupt or tampered blob"
+        )
+    total = int(sum(cells))
+    for name in ("phi", "iota", "fp1", "fp2"):
+        arr = arrays.get(name)
+        if arr is None or arr.shape != (total,):
+            raise ValueError(f"blob cell array {name!r} missing or mis-sized")
+        if arr.dtype != np.int64:
+            raise ValueError(
+                f"blob cell array {name!r} has dtype {arr.dtype}, "
+                "expected int64 — corrupt or tampered blob"
+            )
+    for name in ("fp1", "fp2"):
+        arr = arrays[name]
+        if arr.size and (
+            int(arr.min()) < 0 or int(arr.max()) >= MERSENNE31
+        ):
+            raise ValueError(
+                f"blob fingerprint array {name!r} has values outside "
+                "GF(2^31 - 1) — corrupt or tampered blob"
+            )
+    offset = 0
+    for bank in banks:
+        end = offset + bank.size
+        bank.phi[:] = arrays["phi"][offset:end]
+        bank.iota[:] = arrays["iota"][offset:end]
+        bank.fp1[:] = arrays["fp1"][offset:end]
+        bank.fp2[:] = arrays["fp2"][offset:end]
+        offset = end
+    return sketch
+
+
+def peek_sketch_meta(data: bytes) -> dict:
+    """The blob's header (kind, parameters, seed) without reconstructing."""
+    header, _arrays = _read_blob(data)
+    return header
+
+
+def _verify_like(codec: SketchCodec, header: dict, like: Any) -> None:
+    like_codec = _CODECS_BY_CLASS.get(type(like))
+    if like_codec is None or like_codec.kind != codec.kind:
+        raise SketchCompatibilityError(
+            f"blob holds a {codec.kind!r} sketch but the reference is "
+            f"{type(like).__name__}"
+        )
+    expected = dict(codec.params(like))
+    expected["seed"] = getattr(like, "source_seed", None)
+    mismatched = [
+        f"{key}: blob={header.get(key)!r} local={value!r}"
+        for key, value in expected.items()
+        if value is not None and header.get(key) != value
+    ]
+    if mismatched:
+        raise SketchCompatibilityError(
+            "serialised sketch is incompatible with the local reference — "
+            + "; ".join(mismatched)
+        )
 
 
 def dump_l0_bank(bank: L0SamplerBank, seed: int | None = None) -> bytes:

@@ -26,7 +26,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..errors import RecoveryFailed
+from ..errors import RecoveryFailed, SketchCompatibilityError, incompatible
 from ..hashing import MERSENNE31, HashSource, powmod
 from ..hashing.field import mod_mersenne31, powmod_array
 from .bank import CellBank
@@ -120,7 +120,9 @@ class SparseRecovery(LinearSketch):
             or other.rows != self.rows
             or other.z1 != self.z1
         ):
-            raise ValueError("can only merge identically-seeded SparseRecovery")
+            raise SketchCompatibilityError(
+                "can only merge identically-seeded SparseRecovery"
+            )
         self.phi += other.phi
         self.iota += other.iota
         self.fp1 = mod_mersenne31(self.fp1 + other.fp1)
@@ -230,7 +232,17 @@ class SparseRecoveryBank:
             or other.k != self.k
             or other.rows != self.rows
         ):
-            raise ValueError("can only merge identically-shaped banks")
+            raise SketchCompatibilityError(
+                "can only merge identically-shaped banks"
+            )
+        if (
+            self.source_seed is not None
+            and other.source_seed is not None
+            and other.source_seed != self.source_seed
+        ):
+            raise incompatible(
+                "SparseRecoveryBank", "seed", self.source_seed, other.source_seed
+            )
         self.bank.merge(other.bank)
 
     def _instance_cells(self, group: int, instance: int) -> np.ndarray:

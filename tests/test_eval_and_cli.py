@@ -88,7 +88,7 @@ class TestWorkloads:
 
 class TestExperimentRunners:
     def test_registry_complete(self):
-        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 11)}
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 12)}
 
     def test_unknown_experiment(self):
         with pytest.raises(KeyError):
@@ -128,6 +128,20 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_run_e11_reports_bytes(self, capsys):
+        assert main(["run", "e11"]) == 0
+        out = capsys.readouterr().out
+        assert "E11" in out and "sketch B/site" in out
+        assert "yes" in out and "| no " not in out  # merged==direct everywhere
+
+    def test_distribute_rejects_bad_strategy(self, capsys):
+        assert main(["distribute", "--strategy", "bogus"]) == 2
+        assert "unknown strategy" in capsys.readouterr().err
+
+    def test_distribute_rejects_bad_sites(self, capsys):
+        assert main(["distribute", "--sites", "0"]) == 2
+        assert "--sites" in capsys.readouterr().err
 
 
 class TestCliDemo:

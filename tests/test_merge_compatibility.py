@@ -1,0 +1,134 @@
+"""Every merge-compatibility failure is a single, catchable type.
+
+The satellite contract: no matter which sketch class or which mismatch
+(shape, parameter, or seed), an incompatible ``merge`` raises
+:class:`~repro.errors.SketchCompatibilityError` — which also subclasses
+``ValueError``, so pre-existing callers keep working.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BipartitenessSketch,
+    CutEdgesSketch,
+    EdgeConnectivitySketch,
+    MinCutSketch,
+    MSTWeightSketch,
+    SimpleSparsification,
+    Sparsification,
+    SpanningForestSketch,
+    SubgraphSketch,
+    WeightedSparsification,
+)
+from repro.errors import ReproError, SketchCompatibilityError
+from repro.hashing import HashSource
+from repro.sketch import (
+    L0Sampler,
+    L0SamplerBank,
+    OneSparseCell,
+    SparseRecovery,
+    SparseRecoveryBank,
+)
+
+SRC = HashSource(0xA11CE)
+
+
+#: (name, a-builder, incompatible-b-builder) — one mismatch per class.
+MISMATCH_CASES = [
+    ("one_sparse_cell",
+     lambda: OneSparseCell(50, SRC.derive(1)),
+     lambda: OneSparseCell(50, SRC.derive(2))),
+    ("l0_sampler",
+     lambda: L0Sampler(100, SRC.derive(3)),
+     lambda: L0Sampler(200, SRC.derive(3))),
+    ("l0_bank_shape",
+     lambda: L0SamplerBank(2, 3, 100, SRC.derive(4)),
+     lambda: L0SamplerBank(2, 4, 100, SRC.derive(4))),
+    ("l0_bank_seed",
+     lambda: L0SamplerBank(2, 3, 100, SRC.derive(5)),
+     lambda: L0SamplerBank(2, 3, 100, SRC.derive(6))),
+    ("sparse_recovery",
+     lambda: SparseRecovery(100, k=4, source=SRC.derive(7)),
+     lambda: SparseRecovery(100, k=5, source=SRC.derive(7))),
+    ("recovery_bank_shape",
+     lambda: SparseRecoveryBank(2, 3, 100, k=4, source=SRC.derive(8)),
+     lambda: SparseRecoveryBank(3, 3, 100, k=4, source=SRC.derive(8))),
+    ("recovery_bank_seed",
+     lambda: SparseRecoveryBank(2, 3, 100, k=4, source=SRC.derive(9)),
+     lambda: SparseRecoveryBank(2, 3, 100, k=4, source=SRC.derive(10))),
+    ("spanning_forest",
+     lambda: SpanningForestSketch(10, SRC.derive(11)),
+     lambda: SpanningForestSketch(10, SRC.derive(11), rounds=3)),
+    ("edge_connectivity",
+     lambda: EdgeConnectivitySketch(10, 2, SRC.derive(12)),
+     lambda: EdgeConnectivitySketch(10, 3, SRC.derive(12))),
+    ("mincut",
+     lambda: MinCutSketch(10, source=SRC.derive(13), c_k=1.0),
+     lambda: MinCutSketch(10, source=SRC.derive(13), c_k=3.0)),
+    ("simple_sparsification",
+     lambda: SimpleSparsification(10, source=SRC.derive(14), c_k=0.2),
+     lambda: SimpleSparsification(12, source=SRC.derive(14), c_k=0.2)),
+    ("sparsification",
+     lambda: Sparsification(10, source=SRC.derive(15), levels=4),
+     lambda: Sparsification(10, source=SRC.derive(15), levels=5)),
+    ("weighted_sparsification",
+     lambda: WeightedSparsification(10, 4, source=SRC.derive(16)),
+     lambda: WeightedSparsification(10, 8, source=SRC.derive(16))),
+    ("subgraph_count",
+     lambda: SubgraphSketch(10, samplers=4, source=SRC.derive(17)),
+     lambda: SubgraphSketch(10, samplers=5, source=SRC.derive(17))),
+    ("cut_edges",
+     lambda: CutEdgesSketch(10, k=4, source=SRC.derive(18)),
+     lambda: CutEdgesSketch(10, k=5, source=SRC.derive(18))),
+    ("bipartiteness",
+     lambda: BipartitenessSketch(10, SRC.derive(19)),
+     lambda: BipartitenessSketch(11, SRC.derive(19))),
+    ("mst_weight",
+     lambda: MSTWeightSketch(10, max_weight=4, source=SRC.derive(20)),
+     lambda: MSTWeightSketch(10, max_weight=6, source=SRC.derive(20))),
+]
+
+
+class TestSketchCompatibilityError:
+    def test_is_value_error_and_repro_error(self):
+        assert issubclass(SketchCompatibilityError, ValueError)
+        assert issubclass(SketchCompatibilityError, ReproError)
+
+    @pytest.mark.parametrize(
+        "name,build_a,build_b", MISMATCH_CASES,
+        ids=[c[0] for c in MISMATCH_CASES],
+    )
+    def test_incompatible_merge_raises_single_type(
+        self, name, build_a, build_b
+    ):
+        a, b = build_a(), build_b()
+        with pytest.raises(SketchCompatibilityError):
+            a.merge(b)
+        # Legacy callers that catch ValueError still work.
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    @pytest.mark.parametrize(
+        "name,build_a,build_b", MISMATCH_CASES[:3],
+        ids=[c[0] for c in MISMATCH_CASES[:3]],
+    )
+    def test_compatible_merge_still_fine(self, name, build_a, build_b):
+        build_a().merge(build_a())
+
+    def test_message_names_the_field(self):
+        a = EdgeConnectivitySketch(10, 2, SRC.derive(30))
+        b = EdgeConnectivitySketch(10, 3, SRC.derive(30))
+        with pytest.raises(SketchCompatibilityError, match="k differs"):
+            a.merge(b)
+
+    def test_seed_mismatch_detected_in_banks(self):
+        """Same shape, different hashes: refused before corrupting cells."""
+        a = L0SamplerBank(1, 1, 64, HashSource(1))
+        b = L0SamplerBank(1, 1, 64, HashSource(2))
+        a.update(np.array([0]), np.array([0]), np.array([5]), np.array([1]))
+        b.update(np.array([0]), np.array([0]), np.array([5]), np.array([1]))
+        with pytest.raises(SketchCompatibilityError, match="seed"):
+            a.merge(b)
