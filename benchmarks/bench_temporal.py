@@ -1,0 +1,90 @@
+"""Temporal window materialisation — checkpoint subtraction vs replay.
+
+The operational claim of the temporal subsystem: once per-epoch
+cumulative checkpoints exist, materialising any epoch-aligned window is
+two checkpoint loads and one subtraction — O(sketch size) — while the
+no-checkpoint alternative replays every stream token in the window.  On
+a long stream split into 16 epochs the subtraction path must beat
+replay by at least 5× summed over a full sweep of suffix windows
+(equivalence of the two paths is pinned byte-for-byte by
+``tests/test_temporal_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+
+import pytest
+from conftest import print_table
+
+from repro.distributed import forest_sketch
+from repro.eval import Table
+from repro.sketch import dump_sketch
+from repro.streams import erdos_renyi_graph, stream_from_edges
+from repro.temporal import EpochManager, TemporalQueryEngine
+
+EPOCHS = 16
+
+
+@pytest.fixture(scope="module")
+def temporal_table():
+    table = Table(
+        "TEMPORAL: window materialisation — checkpoint subtraction vs replay",
+        ["windows", "tokens", "epochs", "replay s", "subtract s", "speedup"],
+    )
+    yield table
+    print_table(table, name="temporal")
+
+
+def _long_stream(seed: int):
+    """A churn-heavy stream long enough that replay cost dominates."""
+    n = 48
+    edges = erdos_renyi_graph(n, 0.35, seed=seed)
+    stream = stream_from_edges(n, edges)
+    for _cycle in range(40):
+        for u, v in edges:
+            stream.delete(u, v)
+        for u, v in edges:
+            stream.insert(u, v)
+    return n, stream
+
+
+def test_bench_window_vs_replay(benchmark, seed, temporal_table):
+    n, stream = _long_stream(seed)
+    factory = functools.partial(forest_sketch, n, seed + 5)
+    timeline = EpochManager.consume(factory, stream, epochs=EPOCHS)
+    engine = TemporalQueryEngine(timeline)
+    batch = stream.as_batch()
+    windows = [(t, EPOCHS) for t in range(EPOCHS)]
+
+    # Replay path: consume the window's tokens into a fresh sketch.
+    t0 = time.perf_counter()
+    replays = []
+    for t1, t2 in windows:
+        b1 = timeline.boundaries[t1 - 1] if t1 else 0
+        sketch = factory()
+        sketch.consume_batch(batch.slice(b1, timeline.boundaries[t2 - 1]))
+        replays.append(sketch)
+    replay_s = time.perf_counter() - t0
+
+    # Checkpoint path: loads + subtraction, independent of window span.
+    t0 = time.perf_counter()
+    materialised = [engine.window_sketch(t1, t2) for t1, t2 in windows]
+    subtract_s = time.perf_counter() - t0
+
+    speedup = replay_s / subtract_s
+    temporal_table.add_row(
+        len(windows), len(stream), EPOCHS, replay_s, subtract_s, speedup,
+    )
+    # Both paths agree exactly (spot-check the widest and narrowest).
+    for idx in (0, len(windows) - 1):
+        assert dump_sketch(materialised[idx]) == dump_sketch(replays[idx])
+    assert speedup >= 5.0, (
+        f"window materialisation only {speedup:.1f}x faster than replay "
+        f"at {EPOCHS} epochs (gate: 5x)"
+    )
+    benchmark.pedantic(
+        lambda: engine.window_sketch(EPOCHS // 2, EPOCHS),
+        rounds=5, iterations=1,
+    )

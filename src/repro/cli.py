@@ -3,7 +3,7 @@
 Sub-commands:
 
 * ``list`` — show the experiment registry and workloads;
-* ``run <id> [--full] [--seed N]`` — run one experiment (e1–e11) and
+* ``run <id> [--full] [--seed N]`` — run one experiment (e1–e12) and
   print its table (``all`` runs every experiment);
 * ``demo`` — a 30-second end-to-end tour: build a churny stream,
   sketch it, report min cut, sparsifier quality, triangle frequency,
@@ -11,7 +11,15 @@ Sub-commands:
 * ``distribute --sites K`` — the Section 1.1 multi-site deployment:
   partition a stream across K sites, consume locally, ship serialised
   sketches to a coordinator, and answer connectivity / min-cut /
-  sparsifier-cut / spanner-distance queries from the merged sketches.
+  sparsifier-cut / spanner-distance queries from the merged sketches;
+* ``epochs --epochs E`` — temporal checkpointing: consume a stream in
+  E epochs, seal immutable cumulative checkpoints, optionally write the
+  manifest to a file (and, with ``--sites K``, checkpoint per-site and
+  merge across sites);
+* ``window-query --from T1 --to T2`` — materialise the epoch window
+  [T1, T2) by checkpoint subtraction (from ``--manifest FILE`` or a
+  freshly built demo timeline) and answer through the sketch's query
+  surface.
 """
 
 from __future__ import annotations
@@ -193,6 +201,113 @@ def _sparsifier_answer(sk, graph, seed: int) -> str:
     )
 
 
+def _demo_workload(seed: int):
+    """The shared demo workload (graph, stream) used by epochs/window-query."""
+    from .graphs import Graph
+    from .streams import churn_stream, planted_partition_graph
+
+    n = 36
+    edges = planted_partition_graph(n, 0.6, 0.12, seed=seed)
+    return Graph.from_edges(n, edges), churn_stream(n, edges, seed=seed + 1)
+
+
+def _cmd_epochs(args: argparse.Namespace) -> int:
+    """Seal per-epoch checkpoints of the demo stream (optionally sharded)."""
+    import functools
+    import pathlib
+
+    from .distributed import ShardedSketchRunner, forest_sketch
+    from .temporal import EpochManager
+
+    if args.epochs < 1:
+        print("error: --epochs must be >= 1", file=sys.stderr)
+        return 2
+    if args.sites < 1:
+        print("error: --sites must be >= 1", file=sys.stderr)
+        return 2
+    seed = args.seed
+    graph, stream = _demo_workload(seed)
+    factory = functools.partial(forest_sketch, stream.n, seed + 2)
+    print(
+        f"workload: planted partition, n={stream.n}, m={graph.num_edges()}, "
+        f"{len(stream)} tokens → {args.epochs} epochs"
+    )
+    if args.sites > 1:
+        report = ShardedSketchRunner(
+            factory, sites=args.sites, seed=seed
+        ).run_epochs(stream, epochs=args.epochs)
+        timeline = report.timeline
+        print(
+            f"sharded across {args.sites} sites: "
+            f"{report.total_payload_bytes} checkpoint bytes shipped, "
+            f"wall={report.wall_seconds:.2f}s"
+        )
+    else:
+        timeline = EpochManager.consume(factory, stream, epochs=args.epochs)
+    print("epoch  tokens  cumulative  checkpoint-bytes")
+    for chk in timeline.checkpoints:
+        print(
+            f"{chk.epoch:>5}  {chk.tokens:>6}  {chk.cumulative_tokens:>10}  "
+            f"{len(chk.payload):>16}"
+        )
+    manifest = timeline.to_bytes()
+    print(
+        f"manifest: {timeline.epochs} epochs, {len(manifest)} bytes "
+        f"({timeline.total_payload_bytes} raw checkpoint bytes)"
+    )
+    if args.out:
+        pathlib.Path(args.out).write_bytes(manifest)
+        print(f"wrote manifest to {args.out}")
+    return 0
+
+
+def _cmd_window_query(args: argparse.Namespace) -> int:
+    """Materialise [t1, t2) by checkpoint subtraction and answer it."""
+    import functools
+    import pathlib
+
+    from .distributed import forest_sketch
+    from .temporal import EpochManager, TemporalQueryEngine
+
+    seed = args.seed
+    if args.epochs < 1:
+        print("error: --epochs must be >= 1", file=sys.stderr)
+        return 2
+    if args.manifest:
+        data = pathlib.Path(args.manifest).read_bytes()
+        try:
+            engine = TemporalQueryEngine.from_manifest(data)
+        except ValueError as err:
+            print(f"error: cannot load manifest: {err}", file=sys.stderr)
+            return 2
+        print(
+            f"manifest: {engine.epochs} epochs of "
+            f"{engine.timeline.sketch_kind}"
+        )
+    else:
+        _graph, stream = _demo_workload(seed)
+        factory = functools.partial(forest_sketch, stream.n, seed + 2)
+        timeline = EpochManager.consume(factory, stream, epochs=args.epochs)
+        engine = TemporalQueryEngine(timeline)
+        print(
+            f"demo timeline: planted partition, n={stream.n}, "
+            f"{len(stream)} tokens, {engine.epochs} epochs"
+        )
+    t1 = args.t1
+    t2 = args.t2 if args.t2 is not None else engine.epochs
+    try:
+        answer = engine.answer(t1, t2)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    tokens = engine.window_tokens(t1, t2)
+    print(f"window [{t1}, {t2}): {tokens} tokens, materialised by "
+          f"{'1 load' if t1 == 0 else '2 loads + subtraction'}")
+    for key, value in answer.items():
+        print(f"  {key}: {value}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point."""
     parser = argparse.ArgumentParser(
@@ -205,7 +320,7 @@ def main(argv: list[str] | None = None) -> int:
     p_list = sub.add_parser("list", help="list experiments and workloads")
     p_list.set_defaults(func=_cmd_list)
 
-    p_run = sub.add_parser("run", help="run an experiment (e1..e10 or 'all')")
+    p_run = sub.add_parser("run", help="run an experiment (e1..e12 or 'all')")
     p_run.add_argument("experiment", help="experiment id, e.g. e5, or 'all'")
     p_run.add_argument("--full", action="store_true",
                        help="full parameter sweep (slower)")
@@ -230,6 +345,36 @@ def main(argv: list[str] | None = None) -> int:
                         help="site execution mode")
     p_dist.add_argument("--seed", type=int, default=0)
     p_dist.set_defaults(func=_cmd_distribute)
+
+    p_epochs = sub.add_parser(
+        "epochs",
+        help="temporal checkpointing (consume → seal per-epoch checkpoints)",
+    )
+    p_epochs.add_argument("--epochs", type=int, default=6,
+                          help="number of epochs E (default 6)")
+    p_epochs.add_argument("--sites", type=int, default=1,
+                          help="simulate K sites (per-site checkpoints "
+                               "merged across sites; default 1)")
+    p_epochs.add_argument("--out", default=None,
+                          help="write the epoch manifest to this file")
+    p_epochs.add_argument("--seed", type=int, default=0)
+    p_epochs.set_defaults(func=_cmd_epochs)
+
+    p_window = sub.add_parser(
+        "window-query",
+        help="answer an epoch window [T1, T2) by checkpoint subtraction",
+    )
+    p_window.add_argument("--manifest", default=None,
+                          help="epoch manifest file (from `epochs --out`); "
+                               "omitted: build a demo timeline")
+    p_window.add_argument("--from", dest="t1", type=int, default=0,
+                          help="window start epoch T1 (default 0)")
+    p_window.add_argument("--to", dest="t2", type=int, default=None,
+                          help="window end epoch T2 (default: last epoch)")
+    p_window.add_argument("--epochs", type=int, default=6,
+                          help="epochs for the demo timeline (default 6)")
+    p_window.add_argument("--seed", type=int, default=0)
+    p_window.set_defaults(func=_cmd_window_query)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -93,13 +93,25 @@ class CutEdgesSketch:
         )
         return self
 
-    def merge(self, other: "CutEdgesSketch") -> None:
-        """Merge an identically-seeded sketch (distributed streams)."""
+    def _require_combinable(self, other: "CutEdgesSketch") -> None:
         if other.n != self.n:
             raise incompatible("CutEdgesSketch", "n", self.n, other.n)
         if other.k != self.k:
             raise incompatible("CutEdgesSketch", "k", self.k, other.k)
+
+    def merge(self, other: "CutEdgesSketch") -> None:
+        """Merge an identically-seeded sketch (distributed streams)."""
+        self._require_combinable(other)
         self.bank.merge(other.bank)
+
+    def subtract(self, other: "CutEdgesSketch") -> None:
+        """Subtract an identically-seeded sketch (temporal windows)."""
+        self._require_combinable(other)
+        self.bank.subtract(other.bank)
+
+    def negate(self) -> None:
+        """Negate the sketched stream in place."""
+        self.bank.negate()
 
     def crossing_edges(self, side: Iterable[int]) -> dict[tuple[int, int], int]:
         """Edges crossing ``(side, V \\ side)`` with their multiplicities.

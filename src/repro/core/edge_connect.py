@@ -102,14 +102,28 @@ class EdgeConnectivitySketch:
             group.consume_batch(batch)
         return self
 
-    def merge(self, other: "EdgeConnectivitySketch") -> None:
-        """Merge an identically-seeded sketch (distributed streams)."""
+    def _require_combinable(self, other: "EdgeConnectivitySketch") -> None:
         if other.n != self.n:
             raise incompatible("EdgeConnectivitySketch", "n", self.n, other.n)
         if other.k != self.k:
             raise incompatible("EdgeConnectivitySketch", "k", self.k, other.k)
+
+    def merge(self, other: "EdgeConnectivitySketch") -> None:
+        """Merge an identically-seeded sketch (distributed streams)."""
+        self._require_combinable(other)
         for mine, theirs in zip(self.groups, other.groups):
             mine.merge(theirs)
+
+    def subtract(self, other: "EdgeConnectivitySketch") -> None:
+        """Subtract an identically-seeded sketch (temporal windows)."""
+        self._require_combinable(other)
+        for mine, theirs in zip(self.groups, other.groups):
+            mine.subtract(theirs)
+
+    def negate(self) -> None:
+        """Negate the sketched stream in place."""
+        for group in self.groups:
+            group.negate()
 
     # -- extraction -------------------------------------------------------------
 

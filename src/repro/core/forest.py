@@ -158,15 +158,27 @@ class SpanningForestSketch:
         self.update_edges(batch.lo, batch.hi, batch.delta, items=batch.ranks)
         return self
 
-    def merge(self, other: "SpanningForestSketch") -> None:
-        """Merge an identically-seeded sketch (distributed streams)."""
+    def _require_combinable(self, other: "SpanningForestSketch") -> None:
         if other.n != self.n:
             raise incompatible("SpanningForestSketch", "n", self.n, other.n)
         if other.rounds != self.rounds:
             raise incompatible(
                 "SpanningForestSketch", "rounds", self.rounds, other.rounds
             )
+
+    def merge(self, other: "SpanningForestSketch") -> None:
+        """Merge an identically-seeded sketch (distributed streams)."""
+        self._require_combinable(other)
         self.bank.merge(other.bank)
+
+    def subtract(self, other: "SpanningForestSketch") -> None:
+        """Subtract an identically-seeded sketch (temporal windows)."""
+        self._require_combinable(other)
+        self.bank.subtract(other.bank)
+
+    def negate(self) -> None:
+        """Negate the sketched stream in place."""
+        self.bank.negate()
 
     # -- extraction -------------------------------------------------------------
 

@@ -103,6 +103,18 @@ class BipartitenessSketch:
         self.base.merge(other.base)
         self.doubled.merge(other.doubled)
 
+    def subtract(self, other: "BipartitenessSketch") -> None:
+        """Subtract an identically-seeded sketch (temporal windows)."""
+        if other.n != self.n:
+            raise incompatible("BipartitenessSketch", "n", self.n, other.n)
+        self.base.subtract(other.base)
+        self.doubled.subtract(other.doubled)
+
+    def negate(self) -> None:
+        """Negate the sketched stream in place."""
+        self.base.negate()
+        self.doubled.negate()
+
     def is_bipartite(self) -> bool:
         """Whether the sketched graph is bipartite (w.h.p. correct).
 
@@ -248,16 +260,30 @@ class MSTWeightSketch:
                 )
         return self
 
-    def merge(self, other: "MSTWeightSketch") -> None:
-        """Merge an identically-seeded sketch."""
+    def _require_combinable(self, other: "MSTWeightSketch") -> None:
         for field in ("n", "thresholds"):
             if getattr(other, field) != getattr(self, field):
                 raise incompatible(
                     "MSTWeightSketch", field, getattr(self, field),
                     getattr(other, field),
                 )
+
+    def merge(self, other: "MSTWeightSketch") -> None:
+        """Merge an identically-seeded sketch."""
+        self._require_combinable(other)
         for mine, theirs in zip(self.sketches, other.sketches):
             mine.merge(theirs)
+
+    def subtract(self, other: "MSTWeightSketch") -> None:
+        """Subtract an identically-seeded sketch (temporal windows)."""
+        self._require_combinable(other)
+        for mine, theirs in zip(self.sketches, other.sketches):
+            mine.subtract(theirs)
+
+    def negate(self) -> None:
+        """Negate the sketched stream in place."""
+        for sketch in self.sketches:
+            sketch.negate()
 
     def component_counts(self) -> list[int]:
         """``cc_t`` per threshold (diagnostics)."""

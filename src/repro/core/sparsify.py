@@ -171,16 +171,30 @@ class Sparsification:
         self.recovery.update(groups, insts, items, deltas)
         return self
 
-    def merge(self, other: "Sparsification") -> None:
-        """Merge an identically-seeded sketch (distributed streams)."""
+    def _require_combinable(self, other: "Sparsification") -> None:
         for field in ("n", "levels", "k"):
             if getattr(other, field) != getattr(self, field):
                 raise incompatible(
                     "Sparsification", field, getattr(self, field),
                     getattr(other, field),
                 )
+
+    def merge(self, other: "Sparsification") -> None:
+        """Merge an identically-seeded sketch (distributed streams)."""
+        self._require_combinable(other)
         self.rough.merge(other.rough)
         self.recovery.merge(other.recovery)
+
+    def subtract(self, other: "Sparsification") -> None:
+        """Subtract an identically-seeded sketch (temporal windows)."""
+        self._require_combinable(other)
+        self.rough.subtract(other.rough)
+        self.recovery.subtract(other.recovery)
+
+    def negate(self) -> None:
+        """Negate the sketched stream in place."""
+        self.rough.negate()
+        self.recovery.negate()
 
     # -- post-processing ---------------------------------------------------------
 

@@ -150,16 +150,30 @@ class SimpleSparsification:
             )
         return self
 
-    def merge(self, other: "SimpleSparsification") -> None:
-        """Merge an identically-seeded sketch (distributed streams)."""
+    def _require_combinable(self, other: "SimpleSparsification") -> None:
         for field in ("n", "levels", "k"):
             if getattr(other, field) != getattr(self, field):
                 raise incompatible(
                     "SimpleSparsification", field, getattr(self, field),
                     getattr(other, field),
                 )
+
+    def merge(self, other: "SimpleSparsification") -> None:
+        """Merge an identically-seeded sketch (distributed streams)."""
+        self._require_combinable(other)
         for mine, theirs in zip(self.instances, other.instances):
             mine.merge(theirs)
+
+    def subtract(self, other: "SimpleSparsification") -> None:
+        """Subtract an identically-seeded sketch (temporal windows)."""
+        self._require_combinable(other)
+        for mine, theirs in zip(self.instances, other.instances):
+            mine.subtract(theirs)
+
+    def negate(self) -> None:
+        """Negate the sketched stream in place."""
+        for instance in self.instances:
+            instance.negate()
 
     # -- post-processing ---------------------------------------------------------
 

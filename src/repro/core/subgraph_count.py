@@ -204,15 +204,27 @@ class SubgraphSketch:
         zeros = np.zeros(items.size, dtype=np.int64)
         self.bank.update(fams, zeros, items, dl)
 
-    def merge(self, other: "SubgraphSketch") -> None:
-        """Merge an identically-seeded sketch (distributed streams)."""
+    def _require_combinable(self, other: "SubgraphSketch") -> None:
         for field in ("n", "order", "samplers"):
             if getattr(other, field) != getattr(self, field):
                 raise incompatible(
                     "SubgraphSketch", field, getattr(self, field),
                     getattr(other, field),
                 )
+
+    def merge(self, other: "SubgraphSketch") -> None:
+        """Merge an identically-seeded sketch (distributed streams)."""
+        self._require_combinable(other)
         self.bank.merge(other.bank)
+
+    def subtract(self, other: "SubgraphSketch") -> None:
+        """Subtract an identically-seeded sketch (temporal windows)."""
+        self._require_combinable(other)
+        self.bank.subtract(other.bank)
+
+    def negate(self) -> None:
+        """Negate the sketched stream in place."""
+        self.bank.negate()
 
     def _column_deltas(
         self, lo: int, hi: int, delta: int

@@ -133,16 +133,30 @@ class WeightedSparsification:
                 sketch.consume_batch(batch.select(mask))
         return self
 
-    def merge(self, other: "WeightedSparsification") -> None:
-        """Merge an identically-seeded sketch (distributed streams)."""
+    def _require_combinable(self, other: "WeightedSparsification") -> None:
         for field in ("n", "num_classes", "max_weight"):
             if getattr(other, field) != getattr(self, field):
                 raise incompatible(
                     "WeightedSparsification", field, getattr(self, field),
                     getattr(other, field),
                 )
+
+    def merge(self, other: "WeightedSparsification") -> None:
+        """Merge an identically-seeded sketch (distributed streams)."""
+        self._require_combinable(other)
         for mine, theirs in zip(self.classes, other.classes):
             mine.merge(theirs)
+
+    def subtract(self, other: "WeightedSparsification") -> None:
+        """Subtract an identically-seeded sketch (temporal windows)."""
+        self._require_combinable(other)
+        for mine, theirs in zip(self.classes, other.classes):
+            mine.subtract(theirs)
+
+    def negate(self) -> None:
+        """Negate the sketched stream in place."""
+        for sketch in self.classes:
+            sketch.negate()
 
     def sparsifier(self) -> Sparsifier:
         """Merge the per-class sparsifiers into one weighted subgraph."""

@@ -30,6 +30,7 @@ of the full stream — deletions crossing shard boundaries included.
 """
 
 from .coordinator import (
+    ShardedEpochReport,
     ShardedRunReport,
     ShardedSketchRunner,
     SiteReport,
@@ -46,6 +47,7 @@ from .partition import (
 
 __all__ = [
     "PARTITION_STRATEGIES",
+    "ShardedEpochReport",
     "ShardedRunReport",
     "ShardedSketchRunner",
     "SiteReport",

@@ -28,14 +28,23 @@ import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..errors import StreamError
 from ..sketch.serialize import dump_sketch, load_sketch
 from ..streams import DynamicGraphStream, StreamBatch
-from .partition import partition_batch
+from ..temporal.epochs import (
+    EpochCheckpoint,
+    EpochManager,
+    EpochTimeline,
+    normalize_boundaries,
+)
+from .partition import partition_batch, shard_assignment
 
 __all__ = [
     "SiteReport",
     "ShardedRunReport",
+    "ShardedEpochReport",
     "ShardedSketchRunner",
     "sharded_consume",
 ]
@@ -91,6 +100,58 @@ class ShardedRunReport:
     def max_payload_bytes(self) -> int:
         """Largest single-site payload (the per-link bandwidth cost)."""
         return max((s.payload_bytes for s in self.sites), default=0)
+
+
+@dataclass(frozen=True, slots=True)
+class ShardedEpochReport:
+    """Outcome of one sharded *temporal* run (sites × epochs).
+
+    Attributes
+    ----------
+    timeline:
+        The coordinator's merged checkpoint timeline — byte-identical
+        to the timeline a single site consuming the whole stream would
+        have sealed, so every epoch-window query gives the single-site
+        answer exactly.
+    sites:
+        Per-site reports; ``payload_bytes`` totals all of a site's
+        epoch checkpoints (the site ships one payload per epoch).
+    """
+
+    timeline: EpochTimeline
+    sites: list[SiteReport] = field(default_factory=list)
+    strategy: str = "hash-edge"
+    mode: str = "sequential"
+    wall_seconds: float = 0.0
+
+    @property
+    def epochs(self) -> int:
+        """Number of sealed epochs."""
+        return self.timeline.epochs
+
+    @property
+    def total_payload_bytes(self) -> int:
+        """Total checkpoint bytes shipped from all sites."""
+        return sum(s.payload_bytes for s in self.sites)
+
+
+def _consume_shard_epochs(args: tuple) -> tuple[int, list[bytes], int, float]:
+    """Site worker for temporal runs: seal one checkpoint per epoch.
+
+    Module-level and picklable (see :func:`_consume_shard`); the site's
+    epoch boundaries arrive pre-translated into shard-local positions.
+    """
+    site, factory, n, lo, hi, delta, ranks, site_bounds = args
+    t0 = time.perf_counter()
+    manager = EpochManager(factory)
+    batch = StreamBatch(n, lo, hi, delta, ranks=ranks)
+    start = 0
+    payloads: list[bytes] = []
+    for end in site_bounds:
+        manager.extend(batch.slice(start, int(end)))
+        payloads.append(manager.seal_epoch().payload)
+        start = int(end)
+    return site, payloads, len(batch), time.perf_counter() - t0
 
 
 def _consume_shard(args: tuple) -> tuple[int, bytes, int, float]:
@@ -197,13 +258,85 @@ class ShardedSketchRunner:
         results = self._execute(payloads)
         return self._merge_results(results, "external", self.mode, t_start)
 
-    def _execute(self, payloads: list[tuple]) -> list[tuple]:
+    def run_epochs(
+        self,
+        stream: DynamicGraphStream,
+        epochs: int | None = None,
+        boundaries: Sequence[int] | None = None,
+    ) -> ShardedEpochReport:
+        """Sharded temporal run: per-site, per-epoch checkpoints.
+
+        The stream is partitioned across sites as in :meth:`run`, but
+        every site additionally seals a cumulative checkpoint at each
+        *global* epoch boundary (translated to its shard-local token
+        positions).  The coordinator merges the ``K`` site checkpoints
+        of each epoch into a global cumulative checkpoint — so the
+        returned timeline supports window queries by subtraction that
+        are byte-identical to a single-site timeline of the whole
+        stream.  Pass ``epochs`` for an even grid or ``boundaries`` for
+        explicit epoch-end token positions.
+        """
+        bounds = normalize_boundaries(len(stream), epochs, boundaries)
+        t_start = time.perf_counter()
+        batch = stream.as_batch()
+        assignment = shard_assignment(batch, self.sites, self.strategy, self.seed)
+        bounds_arr = np.asarray(bounds, dtype=np.int64)
+        payloads = []
+        for s in range(self.sites):
+            mask = assignment == s
+            positions = np.flatnonzero(mask)
+            shard = batch.select(mask)
+            # Global boundary b → number of this site's tokens before b.
+            site_bounds = np.searchsorted(positions, bounds_arr, side="left")
+            payloads.append(
+                (s, self.factory, stream.n, shard.lo, shard.hi, shard.delta,
+                 shard.ranks, site_bounds)
+            )
+        results = self._execute(payloads, worker=_consume_shard_epochs)
+        results.sort(key=lambda r: r[0])
+        # Site checkpoints are *cumulative*, so each epoch merges into a
+        # fresh coordinator sketch (re-merging into one accumulator
+        # would double-count earlier prefixes).
+        checkpoints: list[EpochCheckpoint] = []
+        previous_bound = 0
+        for t, bound in enumerate(bounds):
+            coordinator = self.factory()
+            for _site, site_payloads, _tokens, _secs in results:
+                coordinator.merge(
+                    load_sketch(site_payloads[t], like=coordinator)
+                )
+            checkpoints.append(EpochCheckpoint(
+                epoch=t + 1,
+                tokens=bound - previous_bound,
+                cumulative_tokens=bound,
+                payload=dump_sketch(coordinator, epoch_meta={
+                    "epoch": t + 1,
+                    "tokens": bound - previous_bound,
+                    "cumulative_tokens": bound,
+                }),
+            ))
+            previous_bound = bound
+        reports = [
+            SiteReport(site, tokens, sum(len(p) for p in site_payloads), secs)
+            for site, site_payloads, tokens, secs in results
+        ]
+        return ShardedEpochReport(
+            timeline=EpochTimeline(stream.n, checkpoints),
+            sites=reports,
+            strategy=self.strategy,
+            mode=self.mode,
+            wall_seconds=time.perf_counter() - t_start,
+        )
+
+    def _execute(
+        self, payloads: list[tuple], worker: Callable[[tuple], tuple] = _consume_shard
+    ) -> list[tuple]:
         """Dispatch site work according to the configured mode."""
         if self.mode == "process" and self.sites > 1:
             workers = self.processes or self.sites
             with multiprocessing.Pool(workers) as pool:
-                return pool.map(_consume_shard, payloads)
-        return [_consume_shard(p) for p in payloads]
+                return pool.map(worker, payloads)
+        return [worker(p) for p in payloads]
 
     def _merge_results(
         self,

@@ -10,9 +10,11 @@ from .l0 import L0Sampler, L0SamplerBank
 from .onesparse import OneSparseCell
 from .serialize import (
     SketchCodec,
+    dump_epoch_manifest,
     dump_l0_bank,
     dump_recovery_bank,
     dump_sketch,
+    load_epoch_manifest,
     load_l0_bank,
     load_recovery_bank,
     load_sketch,
@@ -42,9 +44,11 @@ __all__ = [
     "SketchCodec",
     "bucket_count_for",
     "decode_cells",
+    "dump_epoch_manifest",
     "dump_l0_bank",
     "dump_recovery_bank",
     "dump_sketch",
+    "load_epoch_manifest",
     "load_l0_bank",
     "load_recovery_bank",
     "load_sketch",

@@ -99,8 +99,7 @@ class CellBank:
         self.fp1 = mod_mersenne31(self.fp1)
         self.fp2 = mod_mersenne31(self.fp2)
 
-    def merge(self, other: "CellBank") -> None:
-        """Cell-wise addition of a bank with identical seed and shape."""
+    def _require_combinable(self, other: "CellBank") -> None:
         if (
             other.size != self.size
             or other.domain != self.domain
@@ -108,12 +107,39 @@ class CellBank:
             or other.z2 != self.z2
         ):
             raise SketchCompatibilityError(
-                "can only merge banks with identical shape and seed"
+                "can only combine banks with identical shape and seed"
             )
+
+    def merge(self, other: "CellBank") -> None:
+        """Cell-wise addition of a bank with identical seed and shape."""
+        self._require_combinable(other)
         self.phi += other.phi
         self.iota += other.iota
         self.fp1 = mod_mersenne31(self.fp1 + other.fp1)
         self.fp2 = mod_mersenne31(self.fp2 + other.fp2)
+
+    def subtract(self, other: "CellBank") -> None:
+        """Cell-wise subtraction: afterwards this bank sketches ``x - y``.
+
+        The temporal-decomposition primitive: a sketch of stream prefix
+        ``[0, t2)`` minus a sketch of ``[0, t1)`` is *exactly* the
+        sketch of the window ``[t1, t2)`` — same linearity that makes
+        :meth:`merge` exact.  Fingerprints live in ``GF(2^31 - 1)``, so
+        the difference is taken mod ``p`` (both operands are already
+        reduced, hence ``+ p`` keeps the fold input non-negative).
+        """
+        self._require_combinable(other)
+        self.phi -= other.phi
+        self.iota -= other.iota
+        self.fp1 = mod_mersenne31(self.fp1 - other.fp1 + MERSENNE31)
+        self.fp2 = mod_mersenne31(self.fp2 - other.fp2 + MERSENNE31)
+
+    def negate(self) -> None:
+        """In-place negation: afterwards this bank sketches ``-x``."""
+        np.negative(self.phi, out=self.phi)
+        np.negative(self.iota, out=self.iota)
+        self.fp1 = mod_mersenne31(MERSENNE31 - self.fp1)
+        self.fp2 = mod_mersenne31(MERSENNE31 - self.fp2)
 
     def cells_view(
         self, idx: np.ndarray

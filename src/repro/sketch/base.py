@@ -44,3 +44,17 @@ class LinearSketch(abc.ABC):
         """Bulk :meth:`update`; subclasses override with vectorised paths."""
         for i, d in zip(indices, deltas):
             self.update(int(i), int(d))
+
+    def subtract(self, other: "LinearSketch") -> None:
+        """Subtract another sketch of the *same shape and seed*.
+
+        After ``a.subtract(b)``, ``a`` is the sketch of ``x_a - x_b``
+        (exactly — linearity works for differences just as for sums,
+        which is what makes temporal-window queries by checkpoint
+        subtraction possible).  The vectorised banks and every
+        registry-serialisable sketch class implement this; the default
+        raises so scalar reference sketches stay minimal.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement subtract()"
+        )

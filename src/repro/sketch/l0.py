@@ -261,8 +261,7 @@ class L0SamplerBank:
             cells_per_row.append((base + row) * self.buckets + bucket)
         self.bank.scatter_multi(cells_per_row, items, deltas)
 
-    def merge(self, other: "L0SamplerBank") -> None:
-        """Cell-wise merge of an identically-seeded bank (distributed sum)."""
+    def _require_combinable(self, other: "L0SamplerBank") -> None:
         if (
             other.families != self.families
             or other.samplers != self.samplers
@@ -271,7 +270,7 @@ class L0SamplerBank:
             or other.buckets != self.buckets
         ):
             raise SketchCompatibilityError(
-                "can only merge identically-shaped banks"
+                "can only combine identically-shaped banks"
             )
         if (
             self.source_seed is not None
@@ -281,7 +280,24 @@ class L0SamplerBank:
             raise incompatible(
                 "L0SamplerBank", "seed", self.source_seed, other.source_seed
             )
+
+    def merge(self, other: "L0SamplerBank") -> None:
+        """Cell-wise merge of an identically-seeded bank (distributed sum)."""
+        self._require_combinable(other)
         self.bank.merge(other.bank)
+
+    def subtract(self, other: "L0SamplerBank") -> None:
+        """Cell-wise subtraction of an identically-seeded bank.
+
+        Afterwards this bank sketches the *difference* of the two
+        vectors — the temporal-window primitive (checkpoint algebra).
+        """
+        self._require_combinable(other)
+        self.bank.subtract(other.bank)
+
+    def negate(self) -> None:
+        """In-place negation of every sketched vector."""
+        self.bank.negate()
 
     # -- queries ---------------------------------------------------------------
 

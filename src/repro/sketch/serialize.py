@@ -46,6 +46,8 @@ __all__ = [
     "dump_sketch",
     "load_sketch",
     "peek_sketch_meta",
+    "dump_epoch_manifest",
+    "load_epoch_manifest",
     "dump_l0_bank",
     "load_l0_bank",
     "dump_recovery_bank",
@@ -53,6 +55,7 @@ __all__ = [
 ]
 
 _MAGIC = "repro-sketch-v1"
+_MANIFEST_KIND = "epoch-manifest"
 
 
 def _pack(kind: str, meta: dict, arrays: dict[str, np.ndarray]) -> bytes:
@@ -172,7 +175,11 @@ def sketch_kind_of(sketch: Any) -> str:
     return codec.kind
 
 
-def dump_sketch(sketch: Any, seed: int | None = None) -> bytes:
+def dump_sketch(
+    sketch: Any,
+    seed: int | None = None,
+    epoch_meta: dict | None = None,
+) -> bytes:
     """Serialise any registered sketch object to bytes.
 
     The blob carries the constructor parameters, the master seed, and
@@ -180,6 +187,12 @@ def dump_sketch(sketch: Any, seed: int | None = None) -> bytes:
     a coordinator needs to rebuild an identically-seeded twin and merge
     it (:func:`load_sketch`).  ``seed`` overrides the recorded
     ``source_seed`` for sketches built from non-seeded sources.
+
+    ``epoch_meta`` attaches temporal-checkpoint metadata (epoch id,
+    token counts...) under the reserved ``"epoch"`` header key; it is
+    carried verbatim, surfaced by :func:`peek_sketch_meta`, and ignored
+    by the parameter/seed verification of :func:`load_sketch` — two
+    checkpoints of the same sketch at different epochs stay mergeable.
     """
     _ensure_codecs_loaded()
     codec = _CODECS_BY_CLASS.get(type(sketch))
@@ -198,6 +211,8 @@ def dump_sketch(sketch: Any, seed: int | None = None) -> bytes:
     meta = dict(codec.params(sketch))
     meta["seed"] = int(seed)
     meta["cells"] = [int(b.size) for b in banks]
+    if epoch_meta is not None:
+        meta["epoch"] = dict(epoch_meta)
     arrays = {
         "phi": np.concatenate([b.phi for b in banks]),
         "iota": np.concatenate([b.iota for b in banks]),
@@ -299,6 +314,117 @@ def _verify_like(codec: SketchCodec, header: dict, like: Any) -> None:
             "serialised sketch is incompatible with the local reference — "
             + "; ".join(mismatched)
         )
+
+
+# -- epoch manifests -----------------------------------------------------------
+
+
+def dump_epoch_manifest(
+    payloads: "list[bytes]",
+    epoch_ids: "list[int] | None" = None,
+    meta: dict | None = None,
+) -> bytes:
+    """Bundle per-epoch checkpoint payloads into one manifest blob.
+
+    ``payloads`` are :func:`dump_sketch` blobs — cumulative prefix
+    checkpoints, one per sealed epoch, all of the same sketch kind and
+    seed (verified here, so a mixed bundle fails at *dump* time).
+    ``epoch_ids`` defaults to ``1..E`` and must equal exactly that —
+    the 1-based consecutive grid :class:`~repro.temporal.epochs.
+    EpochTimeline` restores — which :func:`load_epoch_manifest`
+    re-checks on the way back in.  ``meta`` carries caller metadata
+    (epoch boundaries, token counts...) and must be JSON-serialisable.
+    """
+    if not payloads:
+        raise ValueError("an epoch manifest needs at least one checkpoint")
+    if epoch_ids is None:
+        epoch_ids = list(range(1, len(payloads) + 1))
+    epoch_ids = [int(e) for e in epoch_ids]
+    if epoch_ids != list(range(1, len(payloads) + 1)):
+        raise ValueError(
+            f"epoch ids {epoch_ids} must be 1..{len(payloads)} in order, "
+            f"one per payload"
+        )
+    kinds = set()
+    seeds = set()
+    for payload in payloads:
+        header, _ = _read_blob(payload)
+        kinds.add(header.get("__kind__"))
+        seeds.add(header.get("seed"))
+    if len(kinds) != 1 or len(seeds) != 1:
+        raise SketchCompatibilityError(
+            f"manifest checkpoints must share one sketch kind and seed, "
+            f"got kinds={sorted(map(str, kinds))} seeds={sorted(map(str, seeds))}"
+        )
+    header = dict(meta or {})
+    header["sketch_kind"] = kinds.pop()
+    header["sketch_seed"] = seeds.pop()
+    header["epoch_ids"] = epoch_ids
+    header["lengths"] = [len(p) for p in payloads]
+    blob = b"".join(payloads)
+    return _pack(
+        _MANIFEST_KIND, header,
+        {"payloads": np.frombuffer(blob, dtype=np.uint8)},
+    )
+
+
+def load_epoch_manifest(data: bytes) -> tuple[dict, "list[bytes]"]:
+    """Parse a manifest back into ``(header, checkpoint payloads)``.
+
+    Refuses — with :class:`ValueError` / :class:`~repro.errors.
+    SketchCompatibilityError`, never a silently wrong result — blobs
+    that are not manifests, manifests whose concatenated payload bytes
+    do not match the recorded lengths (truncation/padding), epoch ids
+    that are not consecutive and increasing, and checkpoints whose
+    sketch kind or seed disagrees with the manifest header.
+    """
+    header, arrays = _unpack(data, _MANIFEST_KIND)
+    epoch_ids = header.get("epoch_ids")
+    lengths = header.get("lengths")
+    if not isinstance(epoch_ids, list) or not isinstance(lengths, list):
+        raise ValueError("epoch manifest header lacks epoch_ids/lengths")
+    if len(epoch_ids) != len(lengths) or not epoch_ids:
+        raise ValueError(
+            f"epoch manifest header inconsistent: {len(epoch_ids)} epoch "
+            f"ids vs {len(lengths)} payload lengths"
+        )
+    if epoch_ids != list(range(1, len(epoch_ids) + 1)):
+        raise ValueError(
+            f"epoch ids {epoch_ids} are not the consecutive grid "
+            f"1..{len(epoch_ids)} — out-of-order, duplicated, or offset "
+            "checkpoints"
+        )
+    blob = arrays.get("payloads")
+    if blob is None or blob.dtype != np.uint8:
+        raise ValueError("epoch manifest payload array missing or mis-typed")
+    raw = blob.tobytes()
+    if sum(lengths) != len(raw):
+        raise ValueError(
+            f"epoch manifest payloads truncated or padded: header promises "
+            f"{sum(lengths)} bytes, blob holds {len(raw)}"
+        )
+    payloads: list[bytes] = []
+    offset = 0
+    for length in lengths:
+        if length <= 0:
+            raise ValueError(f"epoch manifest payload length {length} invalid")
+        payloads.append(raw[offset:offset + length])
+        offset += length
+    for i, payload in enumerate(payloads):
+        chk_header, _ = _read_blob(payload)
+        if chk_header.get("__kind__") != header.get("sketch_kind"):
+            raise ValueError(
+                f"checkpoint {epoch_ids[i]} holds a "
+                f"{chk_header.get('__kind__')!r} sketch, manifest promises "
+                f"{header.get('sketch_kind')!r}"
+            )
+        if chk_header.get("seed") != header.get("sketch_seed"):
+            raise SketchCompatibilityError(
+                f"checkpoint {epoch_ids[i]} was built with seed "
+                f"{chk_header.get('seed')!r}, manifest promises "
+                f"{header.get('sketch_seed')!r}"
+            )
+    return header, payloads
 
 
 def dump_l0_bank(bank: L0SamplerBank, seed: int | None = None) -> bytes:

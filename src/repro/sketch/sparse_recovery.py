@@ -223,8 +223,7 @@ class SparseRecoveryBank:
             cells_per_row.append(base + r * self.buckets + bucket)
         self.bank.scatter_multi(cells_per_row, items, deltas)
 
-    def merge(self, other: "SparseRecoveryBank") -> None:
-        """Cell-wise merge of an identically-shaped bank."""
+    def _require_combinable(self, other: "SparseRecoveryBank") -> None:
         if (
             other.groups != self.groups
             or other.instances != self.instances
@@ -233,7 +232,7 @@ class SparseRecoveryBank:
             or other.rows != self.rows
         ):
             raise SketchCompatibilityError(
-                "can only merge identically-shaped banks"
+                "can only combine identically-shaped banks"
             )
         if (
             self.source_seed is not None
@@ -243,7 +242,20 @@ class SparseRecoveryBank:
             raise incompatible(
                 "SparseRecoveryBank", "seed", self.source_seed, other.source_seed
             )
+
+    def merge(self, other: "SparseRecoveryBank") -> None:
+        """Cell-wise merge of an identically-shaped bank."""
+        self._require_combinable(other)
         self.bank.merge(other.bank)
+
+    def subtract(self, other: "SparseRecoveryBank") -> None:
+        """Cell-wise subtraction of an identically-shaped bank."""
+        self._require_combinable(other)
+        self.bank.subtract(other.bank)
+
+    def negate(self) -> None:
+        """In-place negation of every sketched vector."""
+        self.bank.negate()
 
     def _instance_cells(self, group: int, instance: int) -> np.ndarray:
         start = (group * self.instances + instance) * self._cells_per_instance

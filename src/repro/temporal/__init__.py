@@ -1,0 +1,43 @@
+"""Temporal sketching — epoch checkpoints and sliding-window queries.
+
+The linear-sketch property that powers the paper's distributed model
+(Section 1.1) equally enables *temporal* decomposition: a sketch of
+stream prefix ``[0, t2)`` minus a sketch of prefix ``[0, t1)`` is
+**exactly** the sketch of the window ``[t1, t2)``.  A long-running
+service can therefore seal an immutable checkpoint of its cumulative
+sketch at every epoch boundary and later answer historical and
+sliding-window queries by *checkpoint subtraction* — no stream replay,
+no per-window state.
+
+The package:
+
+* :class:`~repro.temporal.epochs.EpochManager` — consumes a
+  :class:`~repro.streams.DynamicGraphStream` through the columnar path
+  and seals per-epoch checkpoints (``dump_sketch`` payloads with epoch
+  metadata);
+* :class:`~repro.temporal.epochs.EpochTimeline` — the immutable
+  checkpoint sequence, serialisable to a single manifest blob
+  (:func:`repro.sketch.dump_epoch_manifest`);
+* :class:`~repro.temporal.query.TemporalQueryEngine` — materialises any
+  epoch-aligned window ``[t1, t2)`` by subtraction and routes it
+  through the sketch's existing query surface.
+
+Multi-site deployments compose orthogonally: per-site, per-epoch
+checkpoints are merged across sites *and* subtracted across time
+(:meth:`repro.distributed.ShardedSketchRunner.run_epochs`).  The
+equivalence harness (``tests/test_temporal_equivalence.py``) pins all
+three routes — direct window stream, checkpoint subtraction, and
+sharded-then-subtracted — byte-identical for every sketch class.
+"""
+
+from .epochs import EpochCheckpoint, EpochManager, EpochTimeline, epoch_boundaries
+from .query import TemporalQueryEngine, window_answer
+
+__all__ = [
+    "EpochCheckpoint",
+    "EpochManager",
+    "EpochTimeline",
+    "TemporalQueryEngine",
+    "epoch_boundaries",
+    "window_answer",
+]

@@ -1,0 +1,307 @@
+"""Epoch checkpointing of cumulative sketches.
+
+An *epoch* is a contiguous run of stream tokens; sealing an epoch
+serialises the manager's cumulative sketch — the sketch of the whole
+prefix ``[0, boundary)`` — into an immutable checkpoint payload.
+Checkpoints are deliberately cumulative rather than per-epoch deltas:
+any window ``[t1, t2)`` then needs exactly *two* checkpoint loads and
+one subtraction, instead of ``t2 - t1`` delta merges.
+
+Checkpoints are plain :func:`repro.sketch.dump_sketch` payloads with
+epoch metadata attached, so everything the serialisation layer already
+verifies (parameters, seed, cell layout, fingerprint range) applies to
+temporal storage too, and a checkpoint can be loaded, merged, or
+subtracted like any shipped sketch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from ..sketch.serialize import (
+    dump_epoch_manifest,
+    dump_sketch,
+    load_epoch_manifest,
+    peek_sketch_meta,
+)
+from ..streams import DynamicGraphStream, StreamBatch
+
+__all__ = [
+    "EpochCheckpoint",
+    "EpochManager",
+    "EpochTimeline",
+    "epoch_boundaries",
+    "normalize_boundaries",
+]
+
+
+def epoch_boundaries(tokens: int, epochs: int) -> list[int]:
+    """Evenly spaced epoch-end token positions (last one == ``tokens``)."""
+    if epochs < 1:
+        raise ValueError(f"need at least one epoch, got {epochs}")
+    return [tokens * (e + 1) // epochs for e in range(epochs)]
+
+
+@dataclass(frozen=True, slots=True)
+class EpochCheckpoint:
+    """One sealed epoch: the cumulative sketch of the prefix ``[0, end)``.
+
+    Attributes
+    ----------
+    epoch:
+        1-based epoch index; checkpoint ``e`` covers epochs ``1..e``.
+    tokens:
+        Tokens consumed during this epoch alone.
+    cumulative_tokens:
+        Tokens in the whole checkpointed prefix.
+    payload:
+        ``dump_sketch`` bytes (with ``epoch`` metadata in the header).
+    """
+
+    epoch: int
+    tokens: int
+    cumulative_tokens: int
+    payload: bytes
+
+
+class EpochTimeline:
+    """An immutable, ordered sequence of cumulative epoch checkpoints.
+
+    The temporal analogue of a shipped sketch: everything a query
+    engine needs to materialise any epoch-aligned window, bundled into
+    one manifest blob by :meth:`to_bytes` and restored — with full
+    integrity checking — by :meth:`from_bytes`.
+    """
+
+    def __init__(self, n: int, checkpoints: Sequence[EpochCheckpoint]):
+        if not checkpoints:
+            raise ValueError("a timeline needs at least one checkpoint")
+        for i, chk in enumerate(checkpoints):
+            if chk.epoch != i + 1:
+                raise ValueError(
+                    f"checkpoint {i} carries epoch id {chk.epoch}, "
+                    f"expected {i + 1} — out-of-order or missing epochs"
+                )
+        self.n = n
+        self.checkpoints: tuple[EpochCheckpoint, ...] = tuple(checkpoints)
+
+    @property
+    def epochs(self) -> int:
+        """Number of sealed epochs ``E``."""
+        return len(self.checkpoints)
+
+    @property
+    def boundaries(self) -> tuple[int, ...]:
+        """Cumulative token position at the end of each epoch."""
+        return tuple(c.cumulative_tokens for c in self.checkpoints)
+
+    @property
+    def total_payload_bytes(self) -> int:
+        """Total checkpoint storage held by the timeline."""
+        return sum(len(c.payload) for c in self.checkpoints)
+
+    @property
+    def sketch_kind(self) -> str:
+        """Registered kind name of the checkpointed sketch class."""
+        return str(peek_sketch_meta(self.checkpoints[0].payload)["__kind__"])
+
+    def checkpoint(self, epoch: int) -> EpochCheckpoint:
+        """The checkpoint sealing epoch ``epoch`` (1-based)."""
+        if not 1 <= epoch <= self.epochs:
+            raise ValueError(
+                f"epoch {epoch} outside the timeline's [1, {self.epochs}]"
+            )
+        return self.checkpoints[epoch - 1]
+
+    def to_bytes(self) -> bytes:
+        """Serialise the timeline into one epoch-manifest blob."""
+        return dump_epoch_manifest(
+            [c.payload for c in self.checkpoints],
+            epoch_ids=[c.epoch for c in self.checkpoints],
+            meta={
+                "n": self.n,
+                "epoch_tokens": [c.tokens for c in self.checkpoints],
+                "boundaries": list(self.boundaries),
+            },
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EpochTimeline":
+        """Restore a timeline from :meth:`to_bytes` output.
+
+        Truncated payload bytes, out-of-order epoch ids, and mixed
+        sketch kinds/seeds are all refused by the manifest loader
+        (:class:`ValueError` / :class:`~repro.errors.
+        SketchCompatibilityError`) — a timeline that loads is internally
+        consistent.
+        """
+        header, payloads = load_epoch_manifest(data)
+        epoch_ids = header["epoch_ids"]
+        epoch_tokens = header.get("epoch_tokens")
+        boundaries = header.get("boundaries")
+        if (
+            not isinstance(epoch_tokens, list)
+            or not isinstance(boundaries, list)
+            or len(epoch_tokens) != len(payloads)
+            or len(boundaries) != len(payloads)
+        ):
+            raise ValueError(
+                "epoch manifest lacks consistent epoch_tokens/boundaries"
+            )
+        checkpoints = [
+            EpochCheckpoint(
+                epoch=int(epoch_ids[i]),
+                tokens=int(epoch_tokens[i]),
+                cumulative_tokens=int(boundaries[i]),
+                payload=payloads[i],
+            )
+            for i in range(len(payloads))
+        ]
+        return cls(int(header.get("n", 0)), checkpoints)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EpochTimeline(n={self.n}, epochs={self.epochs}, "
+            f"bytes={self.total_payload_bytes})"
+        )
+
+
+class EpochManager:
+    """Consume a stream epoch by epoch, sealing cumulative checkpoints.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable returning a fresh, *seeded* sketch (the
+        same contract as the distributed runner's factory: the seed
+        must be recorded so checkpoints can be serialised and later
+        verified against each other).
+
+    Streaming usage::
+
+        manager = EpochManager(factory)
+        manager.extend(batch_1)      # any number of columnar batches
+        manager.seal_epoch()         # checkpoint prefix so far
+        manager.extend(batch_2)
+        manager.seal_epoch()
+        timeline = manager.timeline()
+
+    or one-shot over a whole stream with an epoch grid:
+    :meth:`consume`.
+    """
+
+    def __init__(self, factory: Callable[[], object]):
+        self._factory = factory
+        self._sketch = factory()
+        if not hasattr(self._sketch, "consume_batch"):
+            raise TypeError(
+                f"{type(self._sketch).__name__} has no consume_batch; the "
+                "epoch manager requires the columnar ingestion path"
+            )
+        self._checkpoints: list[EpochCheckpoint] = []
+        self._epoch_tokens = 0
+        self._cumulative_tokens = 0
+
+    @property
+    def n(self) -> int:
+        """Node universe of the managed sketch."""
+        return int(self._sketch.n)
+
+    @property
+    def sealed_epochs(self) -> int:
+        """Number of checkpoints sealed so far."""
+        return len(self._checkpoints)
+
+    def extend(self, batch: StreamBatch) -> "EpochManager":
+        """Feed one columnar batch into the open epoch."""
+        self._sketch.consume_batch(batch)
+        self._epoch_tokens += len(batch)
+        self._cumulative_tokens += len(batch)
+        return self
+
+    def seal_epoch(self) -> EpochCheckpoint:
+        """Close the open epoch and checkpoint the cumulative sketch.
+
+        Empty epochs are legal (the checkpoint simply equals the
+        previous one); the returned checkpoint is immutable and already
+        appended to the manager's timeline.
+        """
+        epoch = len(self._checkpoints) + 1
+        payload = dump_sketch(
+            self._sketch,
+            epoch_meta={
+                "epoch": epoch,
+                "tokens": self._epoch_tokens,
+                "cumulative_tokens": self._cumulative_tokens,
+            },
+        )
+        checkpoint = EpochCheckpoint(
+            epoch=epoch,
+            tokens=self._epoch_tokens,
+            cumulative_tokens=self._cumulative_tokens,
+            payload=payload,
+        )
+        self._checkpoints.append(checkpoint)
+        self._epoch_tokens = 0
+        return checkpoint
+
+    def timeline(self) -> EpochTimeline:
+        """The timeline of every checkpoint sealed so far."""
+        return EpochTimeline(self.n, self._checkpoints)
+
+    @classmethod
+    def consume(
+        cls,
+        factory: Callable[[], object],
+        stream: DynamicGraphStream,
+        epochs: int | None = None,
+        boundaries: Sequence[int] | None = None,
+    ) -> EpochTimeline:
+        """Checkpoint a whole stream along an epoch grid.
+
+        Exactly one of ``epochs`` (evenly spaced) or ``boundaries``
+        (explicit epoch-end token positions; non-decreasing, ending at
+        ``len(stream)``) must be given.  Consumption goes through the
+        shared columnar batch, sliced per epoch — no token-level Python.
+        """
+        bounds = normalize_boundaries(len(stream), epochs, boundaries)
+        manager = cls(factory)
+        batch = stream.as_batch()
+        start = 0
+        for end in bounds:
+            manager.extend(batch.slice(start, end))
+            manager.seal_epoch()
+            start = end
+        return manager.timeline()
+
+
+def normalize_boundaries(
+    tokens: int,
+    epochs: int | None,
+    boundaries: Sequence[int] | None,
+) -> list[int]:
+    """Normalise the ``(epochs | boundaries)`` argument pair.
+
+    Exactly one must be given; explicit boundaries must be
+    non-decreasing epoch-end token positions finishing at ``tokens``.
+    Shared by :meth:`EpochManager.consume` and the sharded epoch runner.
+    """
+    if (epochs is None) == (boundaries is None):
+        raise ValueError("pass exactly one of epochs= or boundaries=")
+    if boundaries is None:
+        return epoch_boundaries(tokens, epochs)
+    bounds = [int(b) for b in boundaries]
+    if not bounds:
+        raise ValueError("boundaries must name at least one epoch end")
+    previous = 0
+    for b in bounds:
+        if b < previous:
+            raise ValueError(f"boundaries must be non-decreasing, got {bounds}")
+        previous = b
+    if bounds[-1] != tokens:
+        raise ValueError(
+            f"final boundary {bounds[-1]} must equal the stream length "
+            f"{tokens} (every token belongs to some epoch)"
+        )
+    return bounds

@@ -1,12 +1,25 @@
-"""Shared fixtures for the repro test suite."""
+"""Shared fixtures and hypothesis profiles for the repro test suite."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.graphs import Graph
 from repro.hashing import HashSource
 from repro.streams import DynamicGraphStream, churn_stream, erdos_renyi_graph
+
+# Hypothesis profiles: "dev" (default) explores with fresh entropy each
+# run; "ci" is derandomized so the property suites are reproducible in
+# CI — combined with a fixed --hypothesis-seed, a CI failure replays
+# locally with HYPOTHESIS_PROFILE=ci.
+settings.register_profile("dev", deadline=None, print_blob=True)
+settings.register_profile(
+    "ci", deadline=None, derandomize=True, print_blob=True
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -1,0 +1,81 @@
+"""Shared hypothesis strategies for the repro test suite.
+
+The temporal equivalence harness needs *legal* dynamic graph streams —
+prefix-valid insert/delete sequences (no deletion of an absent edge,
+matching ``DynamicGraphStream.validate``) — together with epoch grids
+drawn independently of the stream content.  Strategies here are plain
+data builders: they return token lists / boundary lists, and tests
+construct the streams, so a failing example shrinks to a readable
+sequence of ``(u, v, delta)`` triples.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+__all__ = ["edge_token_lists", "epoch_grids", "streams_with_epochs"]
+
+
+@st.composite
+def edge_token_lists(
+    draw,
+    n: int = 8,
+    min_tokens: int = 0,
+    max_tokens: int = 40,
+    max_copies: int = 2,
+):
+    """A prefix-valid list of ``(u, v, delta)`` tokens over ``[0, n)``.
+
+    Deletions are drawn only from edges currently present (with
+    multiplicity bounded by what is present), so every prefix of the
+    returned list keeps all aggregate multiplicities non-negative.
+    """
+    size = draw(st.integers(min_tokens, max_tokens))
+    tokens: list[tuple[int, int, int]] = []
+    present: dict[tuple[int, int], int] = {}
+    for _ in range(size):
+        can_delete = bool(present)
+        delete = can_delete and draw(st.booleans())
+        if delete:
+            edge = draw(st.sampled_from(sorted(present)))
+            copies = draw(st.integers(1, min(present[edge], max_copies)))
+            present[edge] -= copies
+            if present[edge] == 0:
+                del present[edge]
+            tokens.append((edge[0], edge[1], -copies))
+        else:
+            u = draw(st.integers(0, n - 2))
+            v = draw(st.integers(u + 1, n - 1))
+            copies = draw(st.integers(1, max_copies))
+            present[(u, v)] = present.get((u, v), 0) + copies
+            tokens.append((u, v, copies))
+    return tokens
+
+
+@st.composite
+def epoch_grids(draw, tokens: int, max_epochs: int = 4):
+    """Epoch-end boundaries for a ``tokens``-long stream.
+
+    Non-decreasing positions ending exactly at ``tokens`` — empty
+    epochs included on purpose (a service may seal a checkpoint during
+    a quiet period, and the algebra must not care).
+    """
+    epochs = draw(st.integers(1, max_epochs))
+    interior = draw(
+        st.lists(st.integers(0, tokens), min_size=epochs - 1,
+                 max_size=epochs - 1)
+    )
+    return sorted(interior) + [tokens]
+
+
+@st.composite
+def streams_with_epochs(
+    draw,
+    n: int = 8,
+    max_tokens: int = 40,
+    max_epochs: int = 4,
+):
+    """A ``(token list, epoch boundaries)`` pair ready for a manager."""
+    tokens = draw(edge_token_lists(n=n, max_tokens=max_tokens))
+    boundaries = draw(epoch_grids(len(tokens), max_epochs=max_epochs))
+    return tokens, boundaries

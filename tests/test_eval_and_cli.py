@@ -88,7 +88,7 @@ class TestWorkloads:
 
 class TestExperimentRunners:
     def test_registry_complete(self):
-        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 12)}
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 13)}
 
     def test_unknown_experiment(self):
         with pytest.raises(KeyError):
@@ -149,3 +149,62 @@ class TestCliDemo:
         assert main(["demo", "--seed", "3"]) == 0
         out = capsys.readouterr().out
         assert "min cut" in out and "spanner" in out
+
+
+class TestCliTemporal:
+    def test_epochs_prints_checkpoints(self, capsys):
+        assert main(["epochs", "--epochs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 epochs" in out
+        assert "checkpoint-bytes" in out
+        assert "manifest:" in out
+
+    def test_epochs_sharded_matches_format(self, capsys):
+        assert main(["epochs", "--epochs", "2", "--sites", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded across 3 sites" in out
+
+    def test_epochs_rejects_bad_args(self, capsys):
+        assert main(["epochs", "--epochs", "0"]) == 2
+        assert "--epochs" in capsys.readouterr().err
+        assert main(["epochs", "--sites", "0"]) == 2
+        assert "--sites" in capsys.readouterr().err
+
+    def test_window_query_roundtrip_through_manifest(self, tmp_path, capsys):
+        manifest = tmp_path / "forest.manifest"
+        assert main(["epochs", "--epochs", "4", "--out", str(manifest)]) == 0
+        assert manifest.exists()
+        capsys.readouterr()
+        assert main([
+            "window-query", "--manifest", str(manifest),
+            "--from", "1", "--to", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "window [1, 3)" in out
+        assert "2 loads + subtraction" in out
+        assert "components" in out
+
+    def test_window_query_demo_timeline(self, capsys):
+        assert main(["window-query", "--epochs", "3", "--from", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "window [0, 3)" in out and "1 load" in out
+
+    def test_window_query_rejects_bad_window(self, capsys):
+        assert main(["window-query", "--epochs", "3", "--from", "5"]) == 2
+        assert "not a valid epoch range" in capsys.readouterr().err
+
+    def test_window_query_rejects_bad_epoch_count(self, capsys):
+        assert main(["window-query", "--epochs", "0"]) == 2
+        assert "--epochs" in capsys.readouterr().err
+
+    def test_window_query_rejects_garbage_manifest(self, tmp_path, capsys):
+        bad = tmp_path / "bad.manifest"
+        bad.write_bytes(b"not a manifest at all")
+        assert main(["window-query", "--manifest", str(bad)]) == 2
+        assert "cannot load manifest" in capsys.readouterr().err
+
+    def test_run_e12_reports_equivalence(self, capsys):
+        assert main(["run", "e12"]) == 0
+        out = capsys.readouterr().out
+        assert "E12" in out and "sub==replay" in out
+        assert "yes" in out and "| no " not in out

@@ -1,0 +1,215 @@
+"""Fuzz/corruption tests for ``load_sketch`` and the epoch manifest.
+
+The storage contract: corrupted, truncated, tampered, or mismatched
+bytes must raise ``SketchCompatibilityError``/``ValueError`` — a load
+either returns a verified-compatible sketch or refuses; it never
+returns a silently wrong one.
+"""
+
+from __future__ import annotations
+
+import functools
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import SpanningForestSketch
+from repro.distributed import forest_sketch
+from repro.errors import SketchCompatibilityError
+from repro.hashing import HashSource
+from repro.sketch import (
+    dump_epoch_manifest,
+    dump_sketch,
+    load_epoch_manifest,
+    load_sketch,
+)
+from repro.streams import churn_stream, erdos_renyi_graph
+from repro.temporal import EpochManager, EpochTimeline
+
+N = 10
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return churn_stream(N, erdos_renyi_graph(N, 0.45, seed=21), seed=22)
+
+
+@pytest.fixture(scope="module")
+def blob(stream) -> bytes:
+    return dump_sketch(SpanningForestSketch(N, HashSource(31)).consume(stream))
+
+
+@pytest.fixture(scope="module")
+def timeline(stream) -> EpochTimeline:
+    return EpochManager.consume(
+        functools.partial(forest_sketch, N, 31), stream, epochs=3
+    )
+
+
+def _repack(blob: bytes, mutate) -> bytes:
+    """Unpack an npz blob, apply ``mutate(header, arrays)``, repack."""
+    with np.load(io.BytesIO(blob)) as npz:
+        header = json.loads(bytes(npz["__header__"]).decode())
+        arrays = {k: npz[k].copy() for k in npz.files if k != "__header__"}
+    mutate(header, arrays)
+    buf = io.BytesIO()
+    np.savez_compressed(
+        buf,
+        __header__=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        **arrays,
+    )
+    return buf.getvalue()
+
+
+class TestLoadSketchFuzz:
+    @pytest.mark.parametrize("keep", [1, 10, 57, 200])
+    def test_truncated_payload_rejected(self, blob, keep):
+        with pytest.raises(ValueError):
+            load_sketch(blob[:keep])
+
+    def test_every_prefix_of_small_blob_rejected(self):
+        small = dump_sketch(SpanningForestSketch(2, HashSource(1), rounds=1))
+        for keep in range(0, len(small), max(1, len(small) // 50)):
+            with pytest.raises(ValueError):
+                load_sketch(small[:keep])
+
+    @pytest.mark.parametrize("dtype", [np.int32, np.float64, np.uint8])
+    def test_flipped_dtype_fields_rejected(self, blob, dtype):
+        def flip(_header, arrays):
+            arrays["phi"] = arrays["phi"].astype(dtype)
+
+        with pytest.raises(ValueError, match="dtype|mis-sized"):
+            load_sketch(_repack(blob, flip))
+
+    def test_flipped_delta_bytes_rejected_or_detected(self, blob):
+        """Bit flips inside the compressed container break the zip CRC."""
+        corrupted = bytearray(blob)
+        corrupted[len(corrupted) // 3] ^= 0x40
+        with pytest.raises(ValueError):
+            load_sketch(bytes(corrupted))
+
+    def test_mismatched_seed_against_reference_rejected(self, blob, stream):
+        other = SpanningForestSketch(N, HashSource(32)).consume(stream)
+        with pytest.raises(SketchCompatibilityError, match="seed"):
+            load_sketch(blob, like=other)
+
+    def test_oversized_cells_meta_rejected(self, blob):
+        def grow(header, _arrays):
+            header["cells"] = [header["cells"][0] * 2]
+
+        with pytest.raises(ValueError, match="cell layout"):
+            load_sketch(_repack(blob, grow))
+
+
+class TestManifestCorruption:
+    def test_round_trip_is_clean(self, timeline):
+        header, payloads = load_epoch_manifest(timeline.to_bytes())
+        assert header["epoch_ids"] == [1, 2, 3]
+        assert payloads == [c.payload for c in timeline.checkpoints]
+
+    @pytest.mark.parametrize("keep_fraction", [0.1, 0.5, 0.9])
+    def test_truncated_manifest_rejected(self, timeline, keep_fraction):
+        data = timeline.to_bytes()
+        with pytest.raises(ValueError):
+            EpochTimeline.from_bytes(data[: int(len(data) * keep_fraction)])
+
+    def test_truncated_inner_payloads_rejected(self, timeline):
+        """Header promises more payload bytes than the blob holds."""
+        def drop_tail(_header, arrays):
+            arrays["payloads"] = arrays["payloads"][:-20]
+
+        with pytest.raises(ValueError, match="truncated or padded"):
+            load_epoch_manifest(_repack(timeline.to_bytes(), drop_tail))
+
+    def test_out_of_order_epoch_ids_rejected(self, timeline):
+        def swap(header, _arrays):
+            header["epoch_ids"] = [2, 1, 3]
+
+        with pytest.raises(ValueError, match="consecutive"):
+            load_epoch_manifest(_repack(timeline.to_bytes(), swap))
+
+    def test_duplicated_epoch_ids_rejected(self, timeline):
+        def dup(header, _arrays):
+            header["epoch_ids"] = [1, 1, 2]
+
+        with pytest.raises(ValueError, match="consecutive"):
+            load_epoch_manifest(_repack(timeline.to_bytes(), dup))
+
+    def test_offset_epoch_ids_rejected_at_dump_and_load(self, timeline):
+        """dump and load agree: only the 1-based grid is a valid manifest."""
+        payloads = [c.payload for c in timeline.checkpoints]
+        with pytest.raises(ValueError, match="1\\.\\.3"):
+            dump_epoch_manifest(payloads, epoch_ids=[3, 4, 5])
+
+        def shift(header, _arrays):
+            header["epoch_ids"] = [2, 3, 4]
+
+        with pytest.raises(ValueError, match="consecutive"):
+            load_epoch_manifest(_repack(timeline.to_bytes(), shift))
+
+    def test_mismatched_seed_inside_manifest_rejected(self, stream):
+        """A checkpoint sealed under a different seed cannot hide."""
+        a = dump_sketch(SpanningForestSketch(N, HashSource(41)).consume(stream))
+        b = dump_sketch(SpanningForestSketch(N, HashSource(42)).consume(stream))
+        with pytest.raises(SketchCompatibilityError, match="seed"):
+            dump_epoch_manifest([a, b])
+        # ... and a manifest whose header lies about the seed refuses on load.
+        good = dump_epoch_manifest([a])
+
+        def lie(header, _arrays):
+            header["sketch_seed"] = 42
+
+        with pytest.raises(SketchCompatibilityError, match="seed"):
+            load_epoch_manifest(_repack(good, lie))
+
+    def test_mixed_sketch_kinds_rejected(self, stream):
+        from repro.core import CutEdgesSketch
+
+        forest = dump_sketch(
+            SpanningForestSketch(N, HashSource(41)).consume(stream)
+        )
+        cut = dump_sketch(
+            CutEdgesSketch(N, k=4, source=HashSource(41)).consume(stream)
+        )
+        with pytest.raises(SketchCompatibilityError, match="kind"):
+            dump_epoch_manifest([forest, cut])
+
+    def test_sketch_blob_is_not_a_manifest(self, blob):
+        with pytest.raises(ValueError, match="expected 'epoch-manifest'"):
+            load_epoch_manifest(blob)
+
+    def test_manifest_is_not_a_sketch_blob(self, timeline):
+        with pytest.raises(ValueError, match="not a registry-serialised"):
+            load_sketch(timeline.to_bytes())
+
+    def test_garbage_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            load_epoch_manifest(b"\x00" * 100)
+        with pytest.raises(ValueError):
+            EpochTimeline.from_bytes(b"PK\x03\x04 almost a zip")
+
+    def test_negative_payload_length_rejected(self, timeline):
+        def poison(header, _arrays):
+            header["lengths"] = [
+                -header["lengths"][0],
+                header["lengths"][1],
+                header["lengths"][2] + 2 * header["lengths"][0],
+            ]
+
+        with pytest.raises(ValueError):
+            load_epoch_manifest(_repack(timeline.to_bytes(), poison))
+
+    def test_manager_rejects_bad_boundaries(self, stream):
+        factory = functools.partial(forest_sketch, N, 31)
+        with pytest.raises(ValueError, match="exactly one"):
+            EpochManager.consume(factory, stream)
+        with pytest.raises(ValueError, match="exactly one"):
+            EpochManager.consume(factory, stream, epochs=2, boundaries=[1])
+        with pytest.raises(ValueError, match="non-decreasing"):
+            EpochManager.consume(factory, stream, boundaries=[5, 3, len(stream)])
+        with pytest.raises(ValueError, match="final boundary"):
+            EpochManager.consume(factory, stream, boundaries=[3])
+        with pytest.raises(ValueError, match="at least one epoch"):
+            EpochManager.consume(factory, stream, epochs=0)

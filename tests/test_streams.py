@@ -193,6 +193,33 @@ class TestStreamBatch:
         assert len(batch) == 0
         assert batch.ranks.size == 0
 
+    def test_consumer_sees_tokens_appended_after_as_batch(self):
+        """Regression: the invalidate-on-append contract, end to end.
+
+        A consumer that sketched the stream, then had the stream grow,
+        then consumed again must see the new tokens — a stale cached
+        batch would silently drop them (and break temporal epochs,
+        where the manager re-pulls ``as_batch`` between seals).
+        """
+        from repro.core import SpanningForestSketch
+        from repro.hashing import HashSource
+        from repro.sketch import dump_sketch
+
+        st = stream_from_edges(6, [(0, 1), (1, 2)])
+        st.as_batch()  # populate the cache before the append
+        st.insert(2, 3)
+        st.delete(1, 2)
+        grown = st.as_batch()
+        assert len(grown) == 4, "append must invalidate the cached batch"
+        resumed = SpanningForestSketch(6, HashSource(9)).consume(st)
+        direct = SpanningForestSketch(6, HashSource(9))
+        direct.consume_batch(
+            DynamicGraphStream(6, list(st)).as_batch()
+        )
+        assert dump_sketch(resumed) == dump_sketch(direct)
+        assert sorted(map(tuple, (e[:2] for e in resumed.spanning_forest()))) \
+            == [(0, 1), (2, 3)]
+
 
 class TestGenerators:
     def test_er_edge_count_scales_with_p(self):
