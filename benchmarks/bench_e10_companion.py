@@ -9,7 +9,7 @@ round-trip that the distributed deployment (§1.1) ships between sites.
 from __future__ import annotations
 
 import numpy as np
-from conftest import print_table, run_table_once
+from conftest import run_table_once
 
 from repro.core import BipartitenessSketch, CutEdgesSketch, MSTWeightSketch
 from repro.hashing import HashSource

@@ -8,10 +8,10 @@ Stoer–Wagner per level).
 
 from __future__ import annotations
 
-from conftest import print_table, run_table_once
+from conftest import run_table_once
 
 from repro.core import MinCutSketch
-from repro.eval import make_workload, run_experiment
+from repro.eval import make_workload
 from repro.hashing import HashSource
 
 

@@ -8,10 +8,10 @@ constant-scale ablation DESIGN.md calls out (c_k sweep).
 from __future__ import annotations
 
 import pytest
-from conftest import print_table, run_table_once
+from conftest import run_table_once
 
 from repro.core import SimpleSparsification, cut_approximation_report
-from repro.eval import make_workload, run_experiment
+from repro.eval import make_workload
 from repro.hashing import HashSource
 
 

@@ -8,10 +8,10 @@ honest price of the tiny sketch — for k = 3 (vectorised) and k = 4
 
 from __future__ import annotations
 
-from conftest import print_table, run_table_once
+from conftest import run_table_once
 
 from repro.core import TRIANGLE, SubgraphSketch
-from repro.eval import make_workload, run_experiment
+from repro.eval import make_workload
 from repro.hashing import HashSource
 
 

@@ -8,10 +8,10 @@ k times, the adaptive-sketch cost model.
 from __future__ import annotations
 
 import pytest
-from conftest import print_table, run_table_once
+from conftest import run_table_once
 
 from repro.core import BaswanaSenSpanner
-from repro.eval import make_workload, run_experiment
+from repro.eval import make_workload
 from repro.hashing import HashSource
 
 

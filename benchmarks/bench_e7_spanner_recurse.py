@@ -10,10 +10,10 @@ from __future__ import annotations
 import math
 
 import pytest
-from conftest import print_table, run_table_once
+from conftest import run_table_once
 
 from repro.core import RecurseConnectSpanner
-from repro.eval import make_workload, run_experiment
+from repro.eval import make_workload
 from repro.hashing import HashSource
 
 

@@ -11,9 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from conftest import print_table, run_table_once
+from conftest import run_table_once
 
-from repro.eval import run_experiment
 from repro.hashing import HashSource, KWiseHash, NisanPRG
 from repro.sketch import L0SamplerBank, SparseRecovery
 

@@ -16,11 +16,14 @@ from __future__ import annotations
 import time
 
 import pytest
-from conftest import print_table
+from conftest import print_table, write_bench_json
 
 from repro.core import EdgeConnectivitySketch, SimpleSparsification
 from repro.eval import Table, make_workload
 from repro.hashing import HashSource
+
+GATE = 2.0
+_ROWS: list = []
 
 
 def _time_once(fn) -> float:
@@ -44,16 +47,37 @@ def _speedup(make_sketch, stream) -> tuple[float, float, float]:
 
 
 @pytest.fixture(scope="module")
-def ingest_table():
+def ingest_table(quick):
     table = Table(
         "INGEST: columnar batched consume vs per-token update (reference)",
         ["consumer", "tokens", "token-path s", "batched s", "speedup"],
     )
     yield table
-    print_table(table, name="ingest")
+    print_table(table, name=None if quick else "ingest")
+    write_bench_json(
+        "ingest",
+        rows=_ROWS,
+        gates=[{
+            "name": f"ingest_speedup_{row['consumer']}",
+            "value": round(row["speedup"], 3),
+            "threshold": GATE,
+            "enforced": True,
+            "pass": bool(row["speedup"] >= GATE),
+        } for row in _ROWS],
+        quick=quick,
+    )
 
 
-def test_bench_ingest_edge_connect(benchmark, seed, ingest_table):
+def _record(consumer: str, tokens: int, token_s: float, batched_s: float,
+            speedup: float) -> None:
+    _ROWS.append({
+        "consumer": consumer, "tokens": tokens, "token_s": token_s,
+        "batched_s": batched_s, "speedup": speedup,
+        "tokens_per_s": tokens / batched_s,
+    })
+
+
+def test_bench_ingest_edge_connect(benchmark, seed, quick, ingest_table):
     wl = make_workload("er-small", seed=seed)
     n = wl.graph.n
     make = lambda: EdgeConnectivitySketch(n, 4, HashSource(seed + 1))  # noqa: E731
@@ -62,16 +86,17 @@ def test_bench_ingest_edge_connect(benchmark, seed, ingest_table):
         "EdgeConnectivitySketch.consume", len(wl.stream), token_s, batched_s,
         speedup,
     )
-    assert speedup >= 2.0, f"batched ingest only {speedup:.1f}x faster"
+    _record("edge_connect", len(wl.stream), token_s, batched_s, speedup)
+    assert speedup >= GATE, f"batched ingest only {speedup:.1f}x faster"
     benchmark.pedantic(
         lambda: EdgeConnectivitySketch(n, 4, HashSource(seed + 1)).consume(
             wl.stream
         ),
-        rounds=3, iterations=1,
+        rounds=1 if quick else 3, iterations=1,
     )
 
 
-def test_bench_ingest_simple_sparsify(benchmark, seed, ingest_table):
+def test_bench_ingest_simple_sparsify(benchmark, seed, quick, ingest_table):
     wl = make_workload("er-small", seed=seed)
     n = wl.graph.n
     make = lambda: SimpleSparsification(  # noqa: E731
@@ -82,10 +107,11 @@ def test_bench_ingest_simple_sparsify(benchmark, seed, ingest_table):
         "SimpleSparsification.consume", len(wl.stream), token_s, batched_s,
         speedup,
     )
-    assert speedup >= 2.0, f"batched ingest only {speedup:.1f}x faster"
+    _record("simple_sparsify", len(wl.stream), token_s, batched_s, speedup)
+    assert speedup >= GATE, f"batched ingest only {speedup:.1f}x faster"
     benchmark.pedantic(
         lambda: SimpleSparsification(
             n, epsilon=0.5, source=HashSource(seed + 2), c_k=0.3
         ).consume(wl.stream),
-        rounds=3, iterations=1,
+        rounds=1 if quick else 3, iterations=1,
     )

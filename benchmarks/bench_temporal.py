@@ -16,7 +16,7 @@ import functools
 import time
 
 import pytest
-from conftest import print_table
+from conftest import print_table, write_bench_json
 
 from repro.distributed import forest_sketch
 from repro.eval import Table
@@ -25,16 +25,17 @@ from repro.streams import erdos_renyi_graph, stream_from_edges
 from repro.temporal import EpochManager, TemporalQueryEngine
 
 EPOCHS = 16
+GATE = 5.0
 
 
 @pytest.fixture(scope="module")
-def temporal_table():
+def temporal_table(quick):
     table = Table(
         "TEMPORAL: window materialisation — checkpoint subtraction vs replay",
         ["windows", "tokens", "epochs", "replay s", "subtract s", "speedup"],
     )
     yield table
-    print_table(table, name="temporal")
+    print_table(table, name=None if quick else "temporal")
 
 
 def _long_stream(seed: int):
@@ -50,7 +51,7 @@ def _long_stream(seed: int):
     return n, stream
 
 
-def test_bench_window_vs_replay(benchmark, seed, temporal_table):
+def test_bench_window_vs_replay(benchmark, seed, quick, temporal_table):
     n, stream = _long_stream(seed)
     factory = functools.partial(forest_sketch, n, seed + 5)
     timeline = EpochManager.consume(factory, stream, epochs=EPOCHS)
@@ -80,11 +81,28 @@ def test_bench_window_vs_replay(benchmark, seed, temporal_table):
     # Both paths agree exactly (spot-check the widest and narrowest).
     for idx in (0, len(windows) - 1):
         assert dump_sketch(materialised[idx]) == dump_sketch(replays[idx])
-    assert speedup >= 5.0, (
+    write_bench_json(
+        "temporal",
+        rows=[{
+            "windows": len(windows), "tokens": len(stream),
+            "epochs": EPOCHS, "replay_s": replay_s,
+            "subtract_s": subtract_s, "speedup": speedup,
+            "manifest_bytes": timeline.total_payload_bytes,
+        }],
+        gates=[{
+            "name": "window_vs_replay_speedup",
+            "value": round(speedup, 3),
+            "threshold": GATE,
+            "enforced": True,
+            "pass": bool(speedup >= GATE),
+        }],
+        quick=quick,
+    )
+    assert speedup >= GATE, (
         f"window materialisation only {speedup:.1f}x faster than replay "
-        f"at {EPOCHS} epochs (gate: 5x)"
+        f"at {EPOCHS} epochs (gate: {GATE}x)"
     )
     benchmark.pedantic(
         lambda: engine.window_sketch(EPOCHS // 2, EPOCHS),
-        rounds=5, iterations=1,
+        rounds=1 if quick else 5, iterations=1,
     )

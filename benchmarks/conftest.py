@@ -10,15 +10,69 @@ only`` runs — and times its computational phases with pytest-benchmark.
 Tables are printed (visible with ``-s``) **and** persisted to
 ``benchmarks/output/<experiment>.md``; EXPERIMENTS.md archives
 representative copies.
+
+The systems benchmarks (``bench_ingest``, ``bench_distribute``,
+``bench_temporal``, ``bench_arena``) double as **perf telemetry**: they
+accept ``--quick`` (trimmed workloads, no pedantic re-runs — the mode
+CI's ``perf`` job uses on every push) and persist a machine-readable
+``BENCH_<name>.json`` at the repo root via :func:`write_bench_json`.
+Their speedup gates stay enforced in quick mode, so a perf regression
+fails the job rather than just drifting the numbers.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import platform
 
 import pytest
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="trimmed benchmark workloads for CI perf telemetry",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    """Whether the run is in CI-telemetry quick mode."""
+    return bool(request.config.getoption("--quick"))
+
+
+def write_bench_json(
+    name: str,
+    rows: "list[dict]",
+    gates: "list[dict]",
+    quick: bool,
+) -> pathlib.Path:
+    """Persist one benchmark's telemetry as ``BENCH_<name>.json``.
+
+    Schema (also documented in README "Performance & CI"): ``rows`` are
+    free-form per-measurement dicts (throughput, seconds, speedups,
+    bytes); ``gates`` are ``{name, value, threshold, enforced, pass}``
+    entries mirroring the assertions in the bench itself; the top-level
+    ``pass`` is the AND of every enforced gate.
+    """
+    record = {
+        "bench": name,
+        "schema": 1,
+        "quick": quick,
+        "python": platform.python_version(),
+        "rows": rows,
+        "gates": gates,
+        "pass": all(g["pass"] for g in gates if g.get("enforced", True)),
+    }
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path
 
 
 def print_table(table, name: str | None = None) -> None:

@@ -211,6 +211,20 @@ def _demo_workload(seed: int):
     return Graph.from_edges(n, edges), churn_stream(n, edges, seed=seed + 1)
 
 
+def _parse_boundaries(spec: str) -> list[int]:
+    """Parse a ``--boundaries`` CSV into epoch-end token positions.
+
+    Raises ``ValueError`` with a readable message on non-integer parts;
+    ordering/coverage validation happens in ``normalize_boundaries``.
+    """
+    try:
+        return [int(part) for part in spec.split(",") if part.strip() != ""]
+    except ValueError:
+        raise ValueError(
+            f"--boundaries must be comma-separated integers, got {spec!r}"
+        ) from None
+
+
 def _cmd_epochs(args: argparse.Namespace) -> int:
     """Seal per-epoch checkpoints of the demo stream (optionally sharded)."""
     import functools
@@ -227,15 +241,32 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
         return 2
     seed = args.seed
     graph, stream = _demo_workload(seed)
+    # Validate the epoch grid up front: a decreasing or short grid must
+    # exit 2 with a clear message, not a traceback from deep inside the
+    # epoch manager (the `cli run <bad-id>` contract).
+    boundaries = None
+    epochs = args.epochs
+    if args.boundaries is not None:
+        from .temporal import normalize_boundaries
+
+        try:
+            boundaries = _parse_boundaries(args.boundaries)
+            normalize_boundaries(len(stream), None, boundaries)
+        except ValueError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        epochs = None
     factory = functools.partial(forest_sketch, stream.n, seed + 2)
+    grid = (f"{len(boundaries)} explicit epochs" if boundaries is not None
+            else f"{epochs} epochs")
     print(
         f"workload: planted partition, n={stream.n}, m={graph.num_edges()}, "
-        f"{len(stream)} tokens → {args.epochs} epochs"
+        f"{len(stream)} tokens → {grid}"
     )
     if args.sites > 1:
         report = ShardedSketchRunner(
             factory, sites=args.sites, seed=seed
-        ).run_epochs(stream, epochs=args.epochs)
+        ).run_epochs(stream, epochs=epochs, boundaries=boundaries)
         timeline = report.timeline
         print(
             f"sharded across {args.sites} sites: "
@@ -243,7 +274,9 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
             f"wall={report.wall_seconds:.2f}s"
         )
     else:
-        timeline = EpochManager.consume(factory, stream, epochs=args.epochs)
+        timeline = EpochManager.consume(
+            factory, stream, epochs=epochs, boundaries=boundaries
+        )
     print("epoch  tokens  cumulative  checkpoint-bytes")
     for chk in timeline.checkpoints:
         print(
@@ -351,7 +384,11 @@ def main(argv: list[str] | None = None) -> int:
         help="temporal checkpointing (consume → seal per-epoch checkpoints)",
     )
     p_epochs.add_argument("--epochs", type=int, default=6,
-                          help="number of epochs E (default 6)")
+                          help="number of evenly spaced epochs E (default 6)")
+    p_epochs.add_argument("--boundaries", default=None,
+                          help="explicit epoch-end token positions as a "
+                               "comma-separated non-decreasing list ending "
+                               "at the stream length (overrides --epochs)")
     p_epochs.add_argument("--sites", type=int, default=1,
                           help="simulate K sites (per-site checkpoints "
                                "merged across sites; default 1)")

@@ -33,17 +33,9 @@ from .weighted import WeightedSparsification
 __all__ = []  # import-for-side-effect module
 
 
-def _forest_banks(sketch):
-    return [sketch.bank.bank]
-
-
-def _edge_connect_banks(sketch):
-    return [group.bank.bank for group in sketch.groups]
-
-
-def _hierarchy_banks(sketch):
-    """Banks of a per-level k-EDGECONNECT hierarchy (MINCUT / Fig. 2)."""
-    return [b for inst in sketch.instances for b in _edge_connect_banks(inst)]
+def _banks(sketch):
+    """Codec bank order == the class's own arena order (one source of truth)."""
+    return sketch._cell_banks()
 
 
 def _grid_shape(sketch) -> dict:
@@ -62,7 +54,7 @@ register_sketch_codec(SketchCodec(
         m["n"], HashSource(m["seed"]), rounds=m["rounds"], rows=m["rows"],
         buckets=m["buckets"],
     ),
-    banks=_forest_banks,
+    banks=_banks,
 ))
 
 register_sketch_codec(SketchCodec(
@@ -75,7 +67,7 @@ register_sketch_codec(SketchCodec(
         m["n"], m["k"], HashSource(m["seed"]), rounds=m["rounds"],
         rows=m["rows"], buckets=m["buckets"],
     ),
-    banks=_edge_connect_banks,
+    banks=_banks,
 ))
 
 register_sketch_codec(SketchCodec(
@@ -88,7 +80,7 @@ register_sketch_codec(SketchCodec(
         c_k=m["c_k"], levels=m["levels"], rounds=m["rounds"],
         rows=m["rows"], buckets=m["buckets"],
     ), m, "k"),
-    banks=_hierarchy_banks,
+    banks=_banks,
 ))
 
 register_sketch_codec(SketchCodec(
@@ -102,7 +94,7 @@ register_sketch_codec(SketchCodec(
         c_k=m["c_k"], levels=m["levels"], weight_scale=m["weight_scale"],
         rounds=m["rounds"], rows=m["rows"], buckets=m["buckets"],
     ), m, "k"),
-    banks=_hierarchy_banks,
+    banks=_banks,
 ))
 
 register_sketch_codec(SketchCodec(
@@ -118,7 +110,7 @@ register_sketch_codec(SketchCodec(
         levels=m["levels"], rounds=m["rounds"], rows=m["rows"],
         buckets=m["buckets"],
     ), m, "k"),
-    banks=lambda s: _hierarchy_banks(s.rough) + [s.recovery.bank],
+    banks=_banks,
 ))
 
 register_sketch_codec(SketchCodec(
@@ -132,7 +124,7 @@ register_sketch_codec(SketchCodec(
         source=HashSource(m["seed"]), c_k=m["c_k"], rounds=m["rounds"],
         rows=m["rows"], buckets=m["buckets"],
     ),
-    banks=lambda s: [b for cl in s.classes for b in _hierarchy_banks(cl)],
+    banks=_banks,
 ))
 
 register_sketch_codec(SketchCodec(
@@ -144,7 +136,7 @@ register_sketch_codec(SketchCodec(
         m["n"], order=m["order"], samplers=m["samplers"],
         source=HashSource(m["seed"]), rows=m["rows"], buckets=m["buckets"],
     ),
-    banks=_forest_banks,
+    banks=_banks,
 ))
 
 register_sketch_codec(SketchCodec(
@@ -154,7 +146,7 @@ register_sketch_codec(SketchCodec(
     construct=lambda m: CutEdgesSketch(
         m["n"], m["k"], source=HashSource(m["seed"])
     ),
-    banks=lambda s: [s.bank.bank],
+    banks=_banks,
 ))
 
 register_sketch_codec(SketchCodec(
@@ -164,7 +156,7 @@ register_sketch_codec(SketchCodec(
     construct=lambda m: BipartitenessSketch(
         m["n"], HashSource(m["seed"]), rounds=m["rounds"]
     ),
-    banks=lambda s: [s.base.bank.bank, s.doubled.bank.bank],
+    banks=_banks,
 ))
 
 register_sketch_codec(SketchCodec(
@@ -176,7 +168,7 @@ register_sketch_codec(SketchCodec(
         m["n"], max_weight=m["max_weight"], epsilon=m["epsilon"],
         source=HashSource(m["seed"]), rounds=m["rounds"],
     ),
-    banks=lambda s: [sk.bank.bank for sk in s.sketches],
+    banks=_banks,
 ))
 
 

@@ -20,14 +20,15 @@ import numpy as np
 
 from ..errors import RecoveryFailed, incompatible
 from ..hashing import HashSource
-from ..sketch import SparseRecoveryBank
+from ..sketch import ArenaBacked, SparseRecoveryBank
+from ..sketch.bank import CellBank
 from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
 from ..util import pair_count, pair_unrank
 
 __all__ = ["CutEdgesSketch"]
 
 
-class CutEdgesSketch:
+class CutEdgesSketch(ArenaBacked):
     """Linear sketch answering "which edges cross this cut?" queries.
 
     Parameters
@@ -93,25 +94,30 @@ class CutEdgesSketch:
         )
         return self
 
+    def _cell_banks(self) -> list[CellBank]:
+        """Constituent cell banks in serialisation/arena order."""
+        return [self.bank.bank]
+
     def _require_combinable(self, other: "CutEdgesSketch") -> None:
         if other.n != self.n:
             raise incompatible("CutEdgesSketch", "n", self.n, other.n)
         if other.k != self.k:
             raise incompatible("CutEdgesSketch", "k", self.k, other.k)
+        self.bank._require_combinable(other.bank)
 
     def merge(self, other: "CutEdgesSketch") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
         self._require_combinable(other)
-        self.bank.merge(other.bank)
+        self.arena.merge(other.arena)
 
     def subtract(self, other: "CutEdgesSketch") -> None:
         """Subtract an identically-seeded sketch (temporal windows)."""
         self._require_combinable(other)
-        self.bank.subtract(other.bank)
+        self.arena.subtract(other.arena)
 
     def negate(self) -> None:
         """Negate the sketched stream in place."""
-        self.bank.negate()
+        self.arena.negate()
 
     def crossing_edges(self, side: Iterable[int]) -> dict[tuple[int, int], int]:
         """Edges crossing ``(side, V \\ side)`` with their multiplicities.

@@ -25,6 +25,8 @@ import numpy as np
 from ..errors import incompatible
 from ..graphs import Graph
 from ..hashing import HashSource
+from ..sketch import ArenaBacked
+from ..sketch.bank import CellBank
 from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
 from ..util import pair_rank_array
 from .forest import SpanningForestSketch
@@ -32,7 +34,7 @@ from .forest import SpanningForestSketch
 __all__ = ["EdgeConnectivitySketch"]
 
 
-class EdgeConnectivitySketch:
+class EdgeConnectivitySketch(ArenaBacked):
     """Linear sketch computing a k-edge-connectivity witness.
 
     Parameters
@@ -102,28 +104,31 @@ class EdgeConnectivitySketch:
             group.consume_batch(batch)
         return self
 
+    def _cell_banks(self) -> list[CellBank]:
+        """Constituent cell banks in serialisation/arena order."""
+        return [b for group in self.groups for b in group._cell_banks()]
+
     def _require_combinable(self, other: "EdgeConnectivitySketch") -> None:
         if other.n != self.n:
             raise incompatible("EdgeConnectivitySketch", "n", self.n, other.n)
         if other.k != self.k:
             raise incompatible("EdgeConnectivitySketch", "k", self.k, other.k)
+        for mine, theirs in zip(self.groups, other.groups):
+            mine._require_combinable(theirs)
 
     def merge(self, other: "EdgeConnectivitySketch") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
         self._require_combinable(other)
-        for mine, theirs in zip(self.groups, other.groups):
-            mine.merge(theirs)
+        self.arena.merge(other.arena)
 
     def subtract(self, other: "EdgeConnectivitySketch") -> None:
         """Subtract an identically-seeded sketch (temporal windows)."""
         self._require_combinable(other)
-        for mine, theirs in zip(self.groups, other.groups):
-            mine.subtract(theirs)
+        self.arena.subtract(other.arena)
 
     def negate(self) -> None:
         """Negate the sketched stream in place."""
-        for group in self.groups:
-            group.negate()
+        self.arena.negate()
 
     # -- extraction -------------------------------------------------------------
 

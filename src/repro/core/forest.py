@@ -27,7 +27,8 @@ import numpy as np
 from ..errors import SamplerFailed, incompatible
 from ..graphs import UnionFind
 from ..hashing import HashSource
-from ..sketch import L0SamplerBank
+from ..sketch import ArenaBacked, L0SamplerBank
+from ..sketch.bank import CellBank
 from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
 from ..util import ceil_log2, pair_rank_array, pair_unrank
 from .incidence import edge_domain
@@ -35,7 +36,7 @@ from .incidence import edge_domain
 __all__ = ["SpanningForestSketch"]
 
 
-class SpanningForestSketch:
+class SpanningForestSketch(ArenaBacked):
     """Linear sketch supporting spanning-forest extraction.
 
     Parameters
@@ -158,6 +159,10 @@ class SpanningForestSketch:
         self.update_edges(batch.lo, batch.hi, batch.delta, items=batch.ranks)
         return self
 
+    def _cell_banks(self) -> list[CellBank]:
+        """Constituent cell banks in serialisation/arena order."""
+        return [self.bank.bank]
+
     def _require_combinable(self, other: "SpanningForestSketch") -> None:
         if other.n != self.n:
             raise incompatible("SpanningForestSketch", "n", self.n, other.n)
@@ -165,20 +170,21 @@ class SpanningForestSketch:
             raise incompatible(
                 "SpanningForestSketch", "rounds", self.rounds, other.rounds
             )
+        self.bank._require_combinable(other.bank)
 
     def merge(self, other: "SpanningForestSketch") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
         self._require_combinable(other)
-        self.bank.merge(other.bank)
+        self.arena.merge(other.arena)
 
     def subtract(self, other: "SpanningForestSketch") -> None:
         """Subtract an identically-seeded sketch (temporal windows)."""
         self._require_combinable(other)
-        self.bank.subtract(other.bank)
+        self.arena.subtract(other.arena)
 
     def negate(self) -> None:
         """Negate the sketched stream in place."""
-        self.bank.negate()
+        self.arena.negate()
 
     # -- extraction -------------------------------------------------------------
 

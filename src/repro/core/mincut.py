@@ -30,6 +30,8 @@ import numpy as np
 from ..errors import incompatible
 from ..graphs import Graph, global_min_cut_value
 from ..hashing import HashSource
+from ..sketch import ArenaBacked
+from ..sketch.bank import CellBank
 from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
 from ..util import ceil_log2
 from .edge_connect import EdgeConnectivitySketch
@@ -72,7 +74,7 @@ class MinCutResult:
     k: int
 
 
-class MinCutSketch:
+class MinCutSketch(ArenaBacked):
     """Single-pass dynamic-stream minimum cut (Fig. 1).
 
     Parameters
@@ -166,6 +168,10 @@ class MinCutSketch:
             )
         return self
 
+    def _cell_banks(self) -> list[CellBank]:
+        """Constituent cell banks in serialisation/arena order."""
+        return [b for inst in self.instances for b in inst._cell_banks()]
+
     def _require_combinable(self, other: "MinCutSketch") -> None:
         for field in ("n", "levels", "k"):
             if getattr(other, field) != getattr(self, field):
@@ -173,23 +179,22 @@ class MinCutSketch:
                     "MinCutSketch", field, getattr(self, field),
                     getattr(other, field),
                 )
+        for mine, theirs in zip(self.instances, other.instances):
+            mine._require_combinable(theirs)
 
     def merge(self, other: "MinCutSketch") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
         self._require_combinable(other)
-        for mine, theirs in zip(self.instances, other.instances):
-            mine.merge(theirs)
+        self.arena.merge(other.arena)
 
     def subtract(self, other: "MinCutSketch") -> None:
         """Subtract an identically-seeded sketch (temporal windows)."""
         self._require_combinable(other)
-        for mine, theirs in zip(self.instances, other.instances):
-            mine.subtract(theirs)
+        self.arena.subtract(other.arena)
 
     def negate(self) -> None:
         """Negate the sketched stream in place."""
-        for instance in self.instances:
-            instance.negate()
+        self.arena.negate()
 
     # -- post-processing ---------------------------------------------------------
 

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from ..errors import NotSupportedError
-from ..util import comb
 
 __all__ = [
     "Pattern",

@@ -31,6 +31,8 @@ import numpy as np
 from ..errors import StreamError, incompatible
 from ..graphs import global_min_cut_value
 from ..hashing import HashSource
+from ..sketch import ArenaBacked
+from ..sketch.bank import CellBank
 from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
 from .edge_connect import EdgeConnectivitySketch
 from .forest import SpanningForestSketch
@@ -42,7 +44,7 @@ __all__ = [
 ]
 
 
-class BipartitenessSketch:
+class BipartitenessSketch(ArenaBacked):
     """Single-pass dynamic-stream bipartiteness test.
 
     Maintains a spanning-forest sketch of ``G`` (n nodes) and of the
@@ -96,24 +98,29 @@ class BipartitenessSketch:
         )
         return self
 
-    def merge(self, other: "BipartitenessSketch") -> None:
-        """Merge an identically-seeded sketch."""
+    def _cell_banks(self) -> list[CellBank]:
+        """Constituent cell banks in serialisation/arena order."""
+        return self.base._cell_banks() + self.doubled._cell_banks()
+
+    def _require_combinable(self, other: "BipartitenessSketch") -> None:
         if other.n != self.n:
             raise incompatible("BipartitenessSketch", "n", self.n, other.n)
-        self.base.merge(other.base)
-        self.doubled.merge(other.doubled)
+        self.base._require_combinable(other.base)
+        self.doubled._require_combinable(other.doubled)
+
+    def merge(self, other: "BipartitenessSketch") -> None:
+        """Merge an identically-seeded sketch."""
+        self._require_combinable(other)
+        self.arena.merge(other.arena)
 
     def subtract(self, other: "BipartitenessSketch") -> None:
         """Subtract an identically-seeded sketch (temporal windows)."""
-        if other.n != self.n:
-            raise incompatible("BipartitenessSketch", "n", self.n, other.n)
-        self.base.subtract(other.base)
-        self.doubled.subtract(other.doubled)
+        self._require_combinable(other)
+        self.arena.subtract(other.arena)
 
     def negate(self) -> None:
         """Negate the sketched stream in place."""
-        self.base.negate()
-        self.doubled.negate()
+        self.arena.negate()
 
     def is_bipartite(self) -> bool:
         """Whether the sketched graph is bipartite (w.h.p. correct).
@@ -152,7 +159,7 @@ def is_k_connected_sketch(
     return global_min_cut_value(witness) >= k
 
 
-class MSTWeightSketch:
+class MSTWeightSketch(ArenaBacked):
     """Minimum-spanning-forest weight from threshold connectivity sketches.
 
     Parameters
@@ -260,6 +267,10 @@ class MSTWeightSketch:
                 )
         return self
 
+    def _cell_banks(self) -> list[CellBank]:
+        """Constituent cell banks in serialisation/arena order."""
+        return [b for s in self.sketches for b in s._cell_banks()]
+
     def _require_combinable(self, other: "MSTWeightSketch") -> None:
         for field in ("n", "thresholds"):
             if getattr(other, field) != getattr(self, field):
@@ -267,23 +278,22 @@ class MSTWeightSketch:
                     "MSTWeightSketch", field, getattr(self, field),
                     getattr(other, field),
                 )
+        for mine, theirs in zip(self.sketches, other.sketches):
+            mine._require_combinable(theirs)
 
     def merge(self, other: "MSTWeightSketch") -> None:
         """Merge an identically-seeded sketch."""
         self._require_combinable(other)
-        for mine, theirs in zip(self.sketches, other.sketches):
-            mine.merge(theirs)
+        self.arena.merge(other.arena)
 
     def subtract(self, other: "MSTWeightSketch") -> None:
         """Subtract an identically-seeded sketch (temporal windows)."""
         self._require_combinable(other)
-        for mine, theirs in zip(self.sketches, other.sketches):
-            mine.subtract(theirs)
+        self.arena.subtract(other.arena)
 
     def negate(self) -> None:
         """Negate the sketched stream in place."""
-        for sketch in self.sketches:
-            sketch.negate()
+        self.arena.negate()
 
     def component_counts(self) -> list[int]:
         """``cc_t`` per threshold (diagnostics)."""

@@ -22,7 +22,7 @@ import numpy as np
 from ..errors import SamplerFailed
 from ..hashing import HashSource
 from ..sketch import L0SamplerBank
-from ..streams import DynamicGraphStream, StreamBatch
+from ..streams import DynamicGraphStream
 from ..util import pair_count, pair_unrank
 
 __all__ = ["ClusterState", "NeighborhoodSketch"]

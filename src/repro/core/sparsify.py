@@ -37,7 +37,8 @@ import numpy as np
 from ..errors import RecoveryFailed, incompatible
 from ..graphs import Graph, gomory_hu_tree
 from ..hashing import HashSource
-from ..sketch import SparseRecoveryBank
+from ..sketch import ArenaBacked, SparseRecoveryBank
+from ..sketch.bank import CellBank
 from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
 from ..util import ceil_log2, pair_unrank
 from .sparsifier import Sparsifier
@@ -57,7 +58,7 @@ class SparsificationDiagnostics:
     edges_kept: int = 0
 
 
-class Sparsification:
+class Sparsification(ArenaBacked):
     """Single-pass dynamic-stream ε-sparsifier (Fig. 3).
 
     Parameters
@@ -171,6 +172,10 @@ class Sparsification:
         self.recovery.update(groups, insts, items, deltas)
         return self
 
+    def _cell_banks(self) -> list[CellBank]:
+        """Constituent cell banks in serialisation/arena order."""
+        return self.rough._cell_banks() + [self.recovery.bank]
+
     def _require_combinable(self, other: "Sparsification") -> None:
         for field in ("n", "levels", "k"):
             if getattr(other, field) != getattr(self, field):
@@ -178,23 +183,22 @@ class Sparsification:
                     "Sparsification", field, getattr(self, field),
                     getattr(other, field),
                 )
+        self.rough._require_combinable(other.rough)
+        self.recovery._require_combinable(other.recovery)
 
     def merge(self, other: "Sparsification") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
         self._require_combinable(other)
-        self.rough.merge(other.rough)
-        self.recovery.merge(other.recovery)
+        self.arena.merge(other.arena)
 
     def subtract(self, other: "Sparsification") -> None:
         """Subtract an identically-seeded sketch (temporal windows)."""
         self._require_combinable(other)
-        self.rough.subtract(other.rough)
-        self.recovery.subtract(other.recovery)
+        self.arena.subtract(other.arena)
 
     def negate(self) -> None:
         """Negate the sketched stream in place."""
-        self.rough.negate()
-        self.recovery.negate()
+        self.arena.negate()
 
     # -- post-processing ---------------------------------------------------------
 

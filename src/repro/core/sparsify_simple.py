@@ -35,6 +35,8 @@ import numpy as np
 from ..errors import incompatible
 from ..graphs import Graph, gomory_hu_tree
 from ..hashing import HashSource
+from ..sketch import ArenaBacked
+from ..sketch.bank import CellBank
 from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
 from ..util import ceil_log2
 from .edge_connect import EdgeConnectivitySketch
@@ -56,7 +58,7 @@ def default_sparsifier_k(n: int, epsilon: float, c_k: float) -> int:
     return max(2, int(round(c_k * log2n * log2n / epsilon**2)))
 
 
-class SimpleSparsification:
+class SimpleSparsification(ArenaBacked):
     """Single-pass dynamic-stream ε-sparsifier (Fig. 2).
 
     Parameters
@@ -150,6 +152,10 @@ class SimpleSparsification:
             )
         return self
 
+    def _cell_banks(self) -> list[CellBank]:
+        """Constituent cell banks in serialisation/arena order."""
+        return [b for inst in self.instances for b in inst._cell_banks()]
+
     def _require_combinable(self, other: "SimpleSparsification") -> None:
         for field in ("n", "levels", "k"):
             if getattr(other, field) != getattr(self, field):
@@ -157,23 +163,22 @@ class SimpleSparsification:
                     "SimpleSparsification", field, getattr(self, field),
                     getattr(other, field),
                 )
+        for mine, theirs in zip(self.instances, other.instances):
+            mine._require_combinable(theirs)
 
     def merge(self, other: "SimpleSparsification") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
         self._require_combinable(other)
-        for mine, theirs in zip(self.instances, other.instances):
-            mine.merge(theirs)
+        self.arena.merge(other.arena)
 
     def subtract(self, other: "SimpleSparsification") -> None:
         """Subtract an identically-seeded sketch (temporal windows)."""
         self._require_combinable(other)
-        for mine, theirs in zip(self.instances, other.instances):
-            mine.subtract(theirs)
+        self.arena.subtract(other.arena)
 
     def negate(self) -> None:
         """Negate the sketched stream in place."""
-        for instance in self.instances:
-            instance.negate()
+        self.arena.negate()
 
     # -- post-processing ---------------------------------------------------------
 

@@ -33,7 +33,8 @@ import numpy as np
 
 from ..errors import NotSupportedError, SamplerFailed, incompatible
 from ..hashing import HashSource
-from ..sketch import L0SamplerBank, pair_positions_k3, rows_for_order
+from ..sketch import ArenaBacked, L0SamplerBank, pair_positions_k3, rows_for_order
+from ..sketch.bank import CellBank
 from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
 from ..util import comb
 from .patterns import Pattern, encoding_class
@@ -66,7 +67,7 @@ class GammaEstimate:
     invalid_encodings: int
 
 
-class SubgraphSketch:
+class SubgraphSketch(ArenaBacked):
     """Linear sketch estimating induced-subgraph frequencies γ_H.
 
     Parameters
@@ -204,6 +205,10 @@ class SubgraphSketch:
         zeros = np.zeros(items.size, dtype=np.int64)
         self.bank.update(fams, zeros, items, dl)
 
+    def _cell_banks(self) -> list[CellBank]:
+        """Constituent cell banks in serialisation/arena order."""
+        return [self.bank.bank]
+
     def _require_combinable(self, other: "SubgraphSketch") -> None:
         for field in ("n", "order", "samplers"):
             if getattr(other, field) != getattr(self, field):
@@ -211,20 +216,21 @@ class SubgraphSketch:
                     "SubgraphSketch", field, getattr(self, field),
                     getattr(other, field),
                 )
+        self.bank._require_combinable(other.bank)
 
     def merge(self, other: "SubgraphSketch") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
         self._require_combinable(other)
-        self.bank.merge(other.bank)
+        self.arena.merge(other.arena)
 
     def subtract(self, other: "SubgraphSketch") -> None:
         """Subtract an identically-seeded sketch (temporal windows)."""
         self._require_combinable(other)
-        self.bank.subtract(other.bank)
+        self.arena.subtract(other.arena)
 
     def negate(self) -> None:
         """Negate the sketched stream in place."""
-        self.bank.negate()
+        self.arena.negate()
 
     def _column_deltas(
         self, lo: int, hi: int, delta: int

@@ -23,6 +23,8 @@ import numpy as np
 from ..errors import incompatible
 from ..graphs import Graph
 from ..hashing import HashSource
+from ..sketch import ArenaBacked
+from ..sketch.bank import CellBank
 from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
 from ..util import ceil_log2
 from .sparsifier import Sparsifier
@@ -38,7 +40,7 @@ def weight_class_of(delta: int) -> int:
     return abs(delta).bit_length() - 1
 
 
-class WeightedSparsification:
+class WeightedSparsification(ArenaBacked):
     """Dynamic-stream ε-sparsifier for polynomially weighted graphs.
 
     Parameters
@@ -133,6 +135,10 @@ class WeightedSparsification:
                 sketch.consume_batch(batch.select(mask))
         return self
 
+    def _cell_banks(self) -> list[CellBank]:
+        """Constituent cell banks in serialisation/arena order."""
+        return [b for cl in self.classes for b in cl._cell_banks()]
+
     def _require_combinable(self, other: "WeightedSparsification") -> None:
         for field in ("n", "num_classes", "max_weight"):
             if getattr(other, field) != getattr(self, field):
@@ -140,23 +146,22 @@ class WeightedSparsification:
                     "WeightedSparsification", field, getattr(self, field),
                     getattr(other, field),
                 )
+        for mine, theirs in zip(self.classes, other.classes):
+            mine._require_combinable(theirs)
 
     def merge(self, other: "WeightedSparsification") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
         self._require_combinable(other)
-        for mine, theirs in zip(self.classes, other.classes):
-            mine.merge(theirs)
+        self.arena.merge(other.arena)
 
     def subtract(self, other: "WeightedSparsification") -> None:
         """Subtract an identically-seeded sketch (temporal windows)."""
         self._require_combinable(other)
-        for mine, theirs in zip(self.classes, other.classes):
-            mine.subtract(theirs)
+        self.arena.subtract(other.arena)
 
     def negate(self) -> None:
         """Negate the sketched stream in place."""
-        for sketch in self.classes:
-            sketch.negate()
+        self.arena.negate()
 
     def sparsifier(self) -> Sparsifier:
         """Merge the per-class sparsifiers into one weighted subgraph."""

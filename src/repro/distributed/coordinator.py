@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import StreamError
-from ..sketch.serialize import dump_sketch, load_sketch
+from ..sketch.serialize import dump_sketch, merge_sketch_bytes
 from ..streams import DynamicGraphStream, StreamBatch
 from ..temporal.epochs import (
     EpochCheckpoint,
@@ -296,15 +296,15 @@ class ShardedSketchRunner:
         results.sort(key=lambda r: r[0])
         # Site checkpoints are *cumulative*, so each epoch merges into a
         # fresh coordinator sketch (re-merging into one accumulator
-        # would double-count earlier prefixes).
+        # would double-count earlier prefixes).  merge_sketch_bytes
+        # verifies each payload against the coordinator and folds it
+        # straight into the arena — no per-site twin reconstruction.
         checkpoints: list[EpochCheckpoint] = []
         previous_bound = 0
         for t, bound in enumerate(bounds):
             coordinator = self.factory()
             for _site, site_payloads, _tokens, _secs in results:
-                coordinator.merge(
-                    load_sketch(site_payloads[t], like=coordinator)
-                )
+                merge_sketch_bytes(coordinator, site_payloads[t])
             checkpoints.append(EpochCheckpoint(
                 epoch=t + 1,
                 tokens=bound - previous_bound,
@@ -345,12 +345,11 @@ class ShardedSketchRunner:
         mode: str,
         t_start: float,
     ) -> ShardedRunReport:
-        """Coordinator side: load each payload, verify, merge, report."""
+        """Coordinator side: verify each payload and fold it in, report."""
         coordinator = self.factory()
         reports: list[SiteReport] = []
         for site, payload, tokens, seconds in results:
-            received = load_sketch(payload, like=coordinator)
-            coordinator.merge(received)
+            merge_sketch_bytes(coordinator, payload)
             reports.append(SiteReport(site, tokens, len(payload), seconds))
         return ShardedRunReport(
             sketch=coordinator,

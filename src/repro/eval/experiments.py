@@ -39,7 +39,6 @@ from ..core import (
     WeightedSparsification,
     cut_approximation_report,
     encoding_class,
-    recurse_connect_stretch_bound,
 )
 from ..errors import RecoveryFailed, SamplerFailed
 from ..graphs import (
@@ -51,7 +50,7 @@ from ..graphs import (
 )
 from ..hashing import HashSource, KWiseHash, NisanPRG
 from ..sketch import L0Sampler, L0SamplerBank, SparseRecovery
-from ..streams import DynamicGraphStream, stream_from_edges
+from ..streams import stream_from_edges
 from .metrics import relative_error, summarize
 from .tables import Table
 from .workloads import make_workload

@@ -4,6 +4,7 @@ The building blocks of Section 2.3, each in scalar (reference) and
 numpy-bank (production) form, plus the squash encoding of Section 4.
 """
 
+from .arena import ArenaBacked, SketchArena, ensure_arena
 from .bank import CellBank, decode_cells
 from .base import LinearSketch
 from .l0 import L0Sampler, L0SamplerBank
@@ -18,10 +19,12 @@ from .serialize import (
     load_l0_bank,
     load_recovery_bank,
     load_sketch,
+    merge_sketch_bytes,
     peek_sketch_meta,
     register_sketch_codec,
     serializable_sketch_kinds,
     sketch_kind_of,
+    subtract_sketch_bytes,
 )
 from .sparse_recovery import SparseRecovery, SparseRecoveryBank, bucket_count_for
 from .squash import (
@@ -34,7 +37,10 @@ from .squash import (
 )
 
 __all__ = [
+    "ArenaBacked",
     "CellBank",
+    "SketchArena",
+    "ensure_arena",
     "L0Sampler",
     "L0SamplerBank",
     "LinearSketch",
@@ -52,6 +58,8 @@ __all__ = [
     "load_l0_bank",
     "load_recovery_bank",
     "load_sketch",
+    "merge_sketch_bytes",
+    "subtract_sketch_bytes",
     "peek_sketch_meta",
     "register_sketch_codec",
     "serializable_sketch_kinds",

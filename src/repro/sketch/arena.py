@@ -1,0 +1,271 @@
+"""Contiguous sketch-state arena — the whole sketch as one vector.
+
+The paper treats a graph sketch as a single linear measurement vector:
+merging distributed sites (Section 1.1), subtracting epoch checkpoints,
+and shipping bytes are all the *same* vector operation.  Before this
+module, our in-memory layout disagreed — every sketch class scattered
+its state across per-bank numpy arrays, so ``merge``/``subtract``/
+``dump_sketch`` looped over banks and re-packed arrays on the hot path
+of both the distributed coordinator and the temporal engine.
+
+:class:`SketchArena` restores the paper's view.  It owns **one**
+contiguous ``int64`` buffer holding every cell of every constituent
+:class:`~repro.sketch.bank.CellBank`, laid out field-major::
+
+    [ phi of bank 0 | phi of bank 1 | ... ]   cells [0, C)
+    [ iota ...                            ]   cells [C, 2C)
+    [ fp1 ...                             ]   cells [2C, 3C)
+    [ fp2 ...                             ]   cells [3C, 4C)
+
+with ``C`` the total cell count.  Each bank's ``phi``/``iota``/``fp1``/
+``fp2`` become *views* into the buffer, so every existing per-bank code
+path (scatters, decoding, sampling) works unchanged — while whole-sketch
+linear algebra collapses to a handful of whole-buffer vector ops:
+
+* ``merge``/``subtract`` — one add/sub on the count half, one modular
+  fold on the fingerprint half, regardless of how many banks the sketch
+  has (a MINCUT hierarchy has hundreds);
+* serialisation — the payload *is* ``buffer.tobytes()``: no per-bank
+  gather, no re-concatenation (see :mod:`repro.sketch.serialize`).
+
+Arenas attach lazily: a sketch's banks are born with small contiguous
+self-storage, and the first whole-sketch operation adopts them into a
+shared buffer.  Adoption is idempotent and self-healing — if a nested
+sketch (say one forest group inside a ``k-EDGECONNECT``) is later used
+as a top-level object, its banks are re-adopted into a fresh buffer and
+any arena left pointing at the old storage detects the detachment and
+rebuilds on next use.  Bank views are the single source of truth; an
+arena is only ever *used* while all of its banks still view its buffer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import SketchCompatibilityError
+from ..hashing import MERSENNE31
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .bank import CellBank
+
+__all__ = ["SketchArena", "ArenaBacked", "ensure_arena"]
+
+
+def _fold_mersenne31_inplace(f: np.ndarray) -> None:
+    """Reduce ``f`` (values in ``[0, 2^32)``) mod ``2^31 - 1`` in place.
+
+    One Mersenne fold suffices below ``2^32`` — the range of a sum or
+    difference-plus-modulus of two reduced fingerprints — followed by
+    the canonical ``M -> 0`` fix-up.  Produces exactly
+    :func:`~repro.hashing.field.mod_mersenne31`'s residues with fewer
+    passes and a single block-sized temporary.
+    """
+    tmp = f >> 31
+    f &= MERSENNE31
+    f += tmp
+    f[f == MERSENNE31] = 0
+
+
+class SketchArena:
+    """One contiguous ``int64`` buffer backing a list of cell banks.
+
+    Build with :meth:`adopt`; the constructor is internal.  ``buffer``
+    has length ``4 * cells``; ``layout`` is the per-bank shape/seed
+    signature ``(size, domain, z1, z2)`` used for combinability checks.
+    """
+
+    __slots__ = ("buffer", "cells", "banks", "layout")
+
+    def __init__(
+        self,
+        buffer: np.ndarray,
+        cells: int,
+        banks: tuple["CellBank", ...],
+        layout: tuple[tuple[int, int, int, int], ...],
+    ):
+        self.buffer = buffer
+        self.cells = cells
+        self.banks = banks
+        self.layout = layout
+
+    @classmethod
+    def adopt(cls, banks: Sequence["CellBank"]) -> "SketchArena":
+        """Move the given banks' cells into one fresh contiguous buffer.
+
+        Current cell contents are preserved (copied in), and each bank's
+        four field arrays are re-pointed to views of the buffer.  The
+        bank order is the serialisation order — it must be deterministic
+        for a given sketch class (see ``_cell_banks`` implementations).
+        """
+        banks = tuple(banks)
+        if not banks:
+            raise ValueError("an arena needs at least one cell bank")
+        cells = sum(b.size for b in banks)
+        buffer = np.empty(4 * cells, dtype=np.int64)
+        offset = 0
+        for bank in banks:
+            end = offset + bank.size
+            views = tuple(
+                buffer[f * cells + offset:f * cells + end] for f in range(4)
+            )
+            np.copyto(views[0], bank.phi)
+            np.copyto(views[1], bank.iota)
+            np.copyto(views[2], bank.fp1)
+            np.copyto(views[3], bank.fp2)
+            bank.phi, bank.iota, bank.fp1, bank.fp2 = views
+            offset = end
+        layout = tuple((b.size, b.domain, b.z1, b.z2) for b in banks)
+        return cls(buffer, cells, banks, layout)
+
+    def attached(self) -> bool:
+        """Whether every bank still views this buffer.
+
+        False after any of the banks was re-adopted by another arena
+        (nested sketch used as top level, or vice versa); the owner then
+        rebuilds via :func:`ensure_arena`.
+        """
+        buffer = self.buffer
+        return all(b.phi.base is buffer for b in self.banks)
+
+    # -- whole-buffer linear algebra -------------------------------------------
+
+    #: Elements per fold block — 128k int64 = 1 MiB, sized so one block
+    #: plus its single temporary stays cache-resident while the fold's
+    #: multiple passes run.  An unblocked whole-buffer fold on a
+    #: hierarchy sketch streams tens of MB through DRAM once per pass
+    #: and ends up *slower* than the old per-bank loop it replaces.
+    _FOLD_BLOCK = 1 << 17
+
+    def _require_combinable(self, other: "SketchArena") -> None:
+        if other.layout != self.layout:
+            raise SketchCompatibilityError(
+                "can only combine arenas with identical bank layout and "
+                "fingerprint seeds"
+            )
+
+    def merge(self, other: "SketchArena") -> None:
+        """Cell-wise addition of an identically-laid-out arena."""
+        self._require_combinable(other)
+        self._combine_raw(other.buffer, subtract=False)
+
+    def subtract(self, other: "SketchArena") -> None:
+        """Cell-wise subtraction (the temporal-window primitive)."""
+        self._require_combinable(other)
+        self._combine_raw(other.buffer, subtract=True)
+
+    def _combine_raw(self, raw: np.ndarray, subtract: bool) -> None:
+        """Fold a raw buffer (same layout, already validated) into this one.
+
+        One in-place add/sub over the count half; a blocked in-place
+        modular add/sub over the fingerprint half — identical cell for
+        cell to the per-bank ``CellBank.merge``/``subtract`` it
+        replaces, without per-bank Python overhead or DRAM-sized
+        temporaries.
+        """
+        c2 = 2 * self.cells
+        counts = self.buffer[:c2]
+        fps = self.buffer[c2:]
+        other_fps = raw[c2:]
+        if subtract:
+            counts -= raw[:c2]
+        else:
+            counts += raw[:c2]
+        for start in range(0, fps.size, self._FOLD_BLOCK):
+            f = fps[start:start + self._FOLD_BLOCK]
+            if subtract:
+                f -= other_fps[start:start + self._FOLD_BLOCK]
+                f += MERSENNE31
+            else:
+                f += other_fps[start:start + self._FOLD_BLOCK]
+            _fold_mersenne31_inplace(f)
+
+    def _combine_sparse(
+        self, idx: np.ndarray, values: np.ndarray, subtract: bool
+    ) -> None:
+        """Fold a sparse (index, value) payload into this arena.
+
+        ``idx`` must be strictly increasing positions into the buffer
+        (so indices are unique and fancy assignment is well-defined) and
+        fingerprint values already reduced — both validated by the
+        serialisation layer.  Cost is ``O(nnz)``, not ``O(cells)``: the
+        coordinator-merge win for lightly-loaded site sketches.
+        """
+        c2 = 2 * self.cells
+        split = int(np.searchsorted(idx, c2))
+        buf = self.buffer
+        # Positions are unique (strictly increasing), so buffered
+        # fancy-index gather/scatter is safe — and far cheaper than the
+        # unbuffered ufunc.at scatter.
+        if subtract:
+            buf[idx[:split]] -= values[:split]
+            folded = buf[idx[split:]] - values[split:] + MERSENNE31
+        else:
+            buf[idx[:split]] += values[:split]
+            folded = buf[idx[split:]] + values[split:]
+        _fold_mersenne31_inplace(folded)
+        buf[idx[split:]] = folded
+
+    def negate(self) -> None:
+        """In-place negation: afterwards the arena sketches ``-x``."""
+        c2 = 2 * self.cells
+        counts = self.buffer[:c2]
+        np.negative(counts, out=counts)
+        fps = self.buffer[c2:]
+        for start in range(0, fps.size, self._FOLD_BLOCK):
+            f = fps[start:start + self._FOLD_BLOCK]
+            np.subtract(MERSENNE31, f, out=f)
+            _fold_mersenne31_inplace(f)
+
+    # -- accounting -------------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the backing buffer in bytes."""
+        return int(self.buffer.nbytes)
+
+    def memory_cells(self) -> int:
+        """Total 1-sparse cells held (space accounting)."""
+        return self.cells
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SketchArena(banks={len(self.banks)}, cells={self.cells}, "
+            f"bytes={self.nbytes})"
+        )
+
+
+def ensure_arena(sketch) -> SketchArena:
+    """The sketch's arena, (re)building it if absent or detached.
+
+    ``sketch`` must implement ``_cell_banks()`` returning its cell banks
+    in deterministic serialisation order.  The arena is cached on the
+    object; a cached arena whose banks were stolen by another adoption
+    is detected via :meth:`SketchArena.attached` and rebuilt.
+    """
+    arena = getattr(sketch, "_arena", None)
+    if arena is None or not arena.attached():
+        arena = SketchArena.adopt(sketch._cell_banks())
+        sketch._arena = arena
+    return arena
+
+
+class ArenaBacked:
+    """Mixin for sketch classes whose linear ops run on a shared arena.
+
+    Subclasses implement ``_cell_banks()`` (deterministic order, same
+    list their serialisation codec uses) and get a lazily-attached
+    :class:`SketchArena` via :attr:`arena`.
+    """
+
+    _arena: SketchArena | None = None
+
+    def _cell_banks(self) -> list["CellBank"]:
+        raise NotImplementedError
+
+    @property
+    def arena(self) -> SketchArena:
+        """The contiguous cell-state arena (created on first use)."""
+        return ensure_arena(self)

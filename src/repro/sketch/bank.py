@@ -15,6 +15,14 @@ affected (sampler, level, row) cells of a batch in a handful of numpy
 calls.  Decoding is likewise vectorised: the 1-sparseness test of
 :mod:`repro.sketch.onesparse` is evaluated for whole cell blocks at
 once.
+
+The four field arrays are always views into one contiguous ``int64``
+buffer: a bank is born with its own field-major block, and a
+:class:`~repro.sketch.arena.SketchArena` may later *adopt* the bank —
+re-pointing the views into a whole-sketch buffer shared with sibling
+banks.  Every mutating method here therefore writes strictly in place
+(no array rebinding), so bank-level and arena-level operations see the
+same cells.
 """
 
 from __future__ import annotations
@@ -55,10 +63,14 @@ class CellBank:
         self.domain = domain
         self.z1 = 2 + int(source.derive(1).hash64(0)) % (MERSENNE31 - 2)
         self.z2 = 2 + int(source.derive(2).hash64(0)) % (MERSENNE31 - 2)
-        self.phi = np.zeros(size, dtype=np.int64)
-        self.iota = np.zeros(size, dtype=np.int64)
-        self.fp1 = np.zeros(size, dtype=np.int64)
-        self.fp2 = np.zeros(size, dtype=np.int64)
+        # Field-major views into one contiguous block, so a lone bank is
+        # already arena-shaped; SketchArena.adopt re-points these views
+        # into a whole-sketch buffer.
+        storage = np.zeros(4 * size, dtype=np.int64)
+        self.phi = storage[:size]
+        self.iota = storage[size:2 * size]
+        self.fp1 = storage[2 * size:3 * size]
+        self.fp2 = storage[3 * size:]
 
     def scatter(
         self, cells: np.ndarray, items: np.ndarray, deltas: np.ndarray
@@ -96,8 +108,8 @@ class CellBank:
             np.add.at(self.iota, cells, weighted)
             np.add.at(self.fp1, cells, c1)
             np.add.at(self.fp2, cells, c2)
-        self.fp1 = mod_mersenne31(self.fp1)
-        self.fp2 = mod_mersenne31(self.fp2)
+        self.fp1[:] = mod_mersenne31(self.fp1)
+        self.fp2[:] = mod_mersenne31(self.fp2)
 
     def _require_combinable(self, other: "CellBank") -> None:
         if (
@@ -115,8 +127,8 @@ class CellBank:
         self._require_combinable(other)
         self.phi += other.phi
         self.iota += other.iota
-        self.fp1 = mod_mersenne31(self.fp1 + other.fp1)
-        self.fp2 = mod_mersenne31(self.fp2 + other.fp2)
+        self.fp1[:] = mod_mersenne31(self.fp1 + other.fp1)
+        self.fp2[:] = mod_mersenne31(self.fp2 + other.fp2)
 
     def subtract(self, other: "CellBank") -> None:
         """Cell-wise subtraction: afterwards this bank sketches ``x - y``.
@@ -131,15 +143,15 @@ class CellBank:
         self._require_combinable(other)
         self.phi -= other.phi
         self.iota -= other.iota
-        self.fp1 = mod_mersenne31(self.fp1 - other.fp1 + MERSENNE31)
-        self.fp2 = mod_mersenne31(self.fp2 - other.fp2 + MERSENNE31)
+        self.fp1[:] = mod_mersenne31(self.fp1 - other.fp1 + MERSENNE31)
+        self.fp2[:] = mod_mersenne31(self.fp2 - other.fp2 + MERSENNE31)
 
     def negate(self) -> None:
         """In-place negation: afterwards this bank sketches ``-x``."""
         np.negative(self.phi, out=self.phi)
         np.negative(self.iota, out=self.iota)
-        self.fp1 = mod_mersenne31(MERSENNE31 - self.fp1)
-        self.fp2 = mod_mersenne31(MERSENNE31 - self.fp2)
+        self.fp1[:] = mod_mersenne31(MERSENNE31 - self.fp1)
+        self.fp2[:] = mod_mersenne31(MERSENNE31 - self.fp2)
 
     def cells_view(
         self, idx: np.ndarray

@@ -52,9 +52,23 @@ class LinearSketch(abc.ABC):
         (exactly — linearity works for differences just as for sums,
         which is what makes temporal-window queries by checkpoint
         subtraction possible).  The vectorised banks and every
-        registry-serialisable sketch class implement this; the default
-        raises so scalar reference sketches stay minimal.
+        registry-serialisable sketch class implement this as a
+        whole-buffer op on their :class:`~repro.sketch.arena.
+        SketchArena`; the default raises so scalar reference sketches
+        stay minimal.
         """
         raise NotImplementedError(
             f"{type(self).__name__} does not implement subtract()"
+        )
+
+    def negate(self) -> None:
+        """Negate the sketched vector in place (``x -> -x``).
+
+        ``a.merge(b); b_neg.negate(); a.merge(b_neg)`` round-trips
+        exactly — negation is subtraction from the zero sketch.  Like
+        :meth:`subtract`, implemented by the arena-backed classes and
+        left unimplemented on the scalar reference sketches.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement negate()"
         )

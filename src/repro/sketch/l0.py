@@ -33,6 +33,7 @@ import numpy as np
 from ..errors import SamplerFailed, SketchCompatibilityError, incompatible
 from ..hashing import HashSource
 from ..util import ceil_log2
+from .arena import ArenaBacked
 from .bank import CellBank, decode_cells
 from .base import LinearSketch
 from .onesparse import OneSparseCell
@@ -157,7 +158,7 @@ class L0Sampler(LinearSketch):
         raise err
 
 
-class L0SamplerBank:
+class L0SamplerBank(ArenaBacked):
     """``families × samplers`` ℓ₀ samplers in one vectorised bank.
 
     Within a family all samplers share hash functions — their cell
@@ -281,10 +282,14 @@ class L0SamplerBank:
                 "L0SamplerBank", "seed", self.source_seed, other.source_seed
             )
 
+    def _cell_banks(self) -> list[CellBank]:
+        return [self.bank]
+
     def merge(self, other: "L0SamplerBank") -> None:
         """Cell-wise merge of an identically-seeded bank (distributed sum)."""
         self._require_combinable(other)
-        self.bank.merge(other.bank)
+        self.bank._require_combinable(other.bank)
+        self.arena.merge(other.arena)
 
     def subtract(self, other: "L0SamplerBank") -> None:
         """Cell-wise subtraction of an identically-seeded bank.
@@ -293,11 +298,12 @@ class L0SamplerBank:
         vectors — the temporal-window primitive (checkpoint algebra).
         """
         self._require_combinable(other)
-        self.bank.subtract(other.bank)
+        self.bank._require_combinable(other.bank)
+        self.arena.subtract(other.arena)
 
     def negate(self) -> None:
         """In-place negation of every sketched vector."""
-        self.bank.negate()
+        self.arena.negate()
 
     # -- queries ---------------------------------------------------------------
 

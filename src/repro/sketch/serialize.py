@@ -3,8 +3,7 @@
 The distributed-stream story (Section 1.1) requires sketches to travel:
 each site summarises its sub-stream locally and sends the *sketch* —
 not the stream — to a coordinator, which merges by addition.  This
-module provides a compact, dependency-free binary format (numpy ``npz``
-inside bytes) in two layers:
+module provides a compact, dependency-free binary format in two layers:
 
 * the two primitive bank formats (``dump_l0_bank`` / ``dump_recovery_
   bank`` and their loaders), kept for direct bank-level workflows; and
@@ -16,17 +15,35 @@ inside bytes) in two layers:
   registered object and :func:`load_sketch` reconstructs it — verifying
   parameters, seed, and cell-array shapes before accepting the payload.
 
+**Codec v2** (the current write format) exploits the contiguous
+:class:`~repro.sketch.arena.SketchArena`: a blob is a fixed magic
+prefix, a JSON header, and the arena buffer — ``header +
+buffer.tobytes()``, level-1-deflated since cell buffers are mostly
+zeros — with a CRC32 so flipped bits are still caught without the old
+zip-container overhead.  Epoch manifests are the same shape with the
+concatenated checkpoint blobs as a raw payload.
+**Codec v1** (numpy ``npz`` inside bytes) is still fully *readable*:
+golden fixtures and any persisted checkpoints keep loading through the
+legacy path, and since the arena is laid out field-major in bank order,
+a v1 blob's concatenated ``phi``/``iota``/``fp1``/``fp2`` arrays and a
+v2 buffer hold the very same cells in the very same order.
+
 Only identically-parameterised, identically-seeded sketches merge, so
 the format stores the constructor parameters and seeds alongside the
 cell arrays; ``load_sketch(data, like=...)`` additionally refuses blobs
 whose parameters or seed differ from a local reference sketch, raising
-:class:`~repro.errors.SketchCompatibilityError`.
+:class:`~repro.errors.SketchCompatibilityError`.  For coordinator-style
+hot paths, :func:`merge_sketch_bytes` / :func:`subtract_sketch_bytes`
+fold a verified v2 payload straight into a live sketch's arena without
+materialising a twin sketch first.
 """
 
 from __future__ import annotations
 
 import io
 import json
+import struct
+import zlib
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -34,6 +51,7 @@ import numpy as np
 
 from ..errors import SketchCompatibilityError
 from ..hashing import MERSENNE31, HashSource
+from .arena import ensure_arena
 from .bank import CellBank
 from .l0 import L0SamplerBank
 from .sparse_recovery import SparseRecoveryBank
@@ -45,6 +63,8 @@ __all__ = [
     "sketch_kind_of",
     "dump_sketch",
     "load_sketch",
+    "merge_sketch_bytes",
+    "subtract_sketch_bytes",
     "peek_sketch_meta",
     "dump_epoch_manifest",
     "load_epoch_manifest",
@@ -55,7 +75,11 @@ __all__ = [
 ]
 
 _MAGIC = "repro-sketch-v1"
+_MAGIC_V2 = "repro-sketch-v2"
 _MANIFEST_KIND = "epoch-manifest"
+#: Leading bytes of every v2 blob (sketches and manifests alike).
+_V2_PREFIX = b"RSKB2\n"
+_V2_HEAD = struct.Struct("<I")
 
 
 def _pack(kind: str, meta: dict, arrays: dict[str, np.ndarray]) -> bytes:
@@ -90,12 +114,167 @@ def _read_blob(data: bytes) -> tuple[dict, dict[str, np.ndarray]]:
 
 
 def _unpack(data: bytes, kind: str) -> tuple[dict, dict[str, np.ndarray]]:
+    if _is_v2(data):
+        # The primitive bank formats are npz-only; a v2 blob handed to
+        # them is by definition of another kind.
+        header = _read_raw(data)[0]
+        raise ValueError(
+            f"blob holds a {header.get('__kind__')!r}, expected {kind!r}"
+        )
     header, arrays = _read_blob(data)
     if header.get("__kind__") != kind:
         raise ValueError(
             f"blob holds a {header.get('__kind__')!r}, expected {kind!r}"
         )
     return header, arrays
+
+
+# -- codec v2: raw header + payload containers ---------------------------------
+
+
+def _is_v2(data: bytes) -> bool:
+    return data[:len(_V2_PREFIX)] == _V2_PREFIX
+
+
+def _pack_raw(
+    kind: str, meta: dict, payload: bytes, encoding: str = "raw"
+) -> bytes:
+    """Assemble a v2 blob: magic, JSON header, payload bytes.
+
+    ``encoding="zlib"`` deflates the payload at level 1 — sketch cell
+    buffers are mostly zeros, so this keeps shipped/persisted sizes in
+    v1 territory at a fraction of the old npz container cost.  Manifest
+    payloads stay ``"raw"``: they are concatenations of already-encoded
+    checkpoint blobs.
+    """
+    stored = (
+        zlib.compress(payload, 1)
+        if encoding in ("zlib", "sparse-zlib") else payload
+    )
+    header = dict(meta)
+    header["__magic__"] = _MAGIC_V2
+    header["__kind__"] = kind
+    header["encoding"] = encoding
+    header["payload_bytes"] = len(stored)
+    header["crc32"] = zlib.crc32(stored) & 0xFFFFFFFF
+    head = json.dumps(header).encode("utf-8")
+    return b"".join((_V2_PREFIX, _V2_HEAD.pack(len(head)), head, stored))
+
+
+def _read_raw(data: bytes) -> tuple[dict, bytes]:
+    """Parse a v2 blob into (header, payload) with corruption checks.
+
+    The declared payload length and a CRC32 stand in for the container
+    integrity the v1 zip format provided: truncation, padding, and bit
+    flips anywhere in the blob all raise :class:`ValueError`.
+    """
+    base = len(_V2_PREFIX)
+    try:
+        (head_len,) = _V2_HEAD.unpack_from(data, base)
+        head_end = base + _V2_HEAD.size + head_len
+        if head_end > len(data):
+            raise ValueError("header extends past the blob")
+        header = json.loads(data[base + _V2_HEAD.size:head_end].decode("utf-8"))
+    except (ValueError, struct.error) as err:  # unicode/json derive ValueError
+        raise ValueError(
+            "not a repro sketch blob (corrupt or foreign bytes)"
+        ) from err
+    if not isinstance(header, dict) or header.get("__magic__") != _MAGIC_V2:
+        magic = header.get("__magic__") if isinstance(header, dict) else None
+        raise ValueError(f"not a repro sketch blob (bad magic {magic!r})")
+    payload = data[head_end:]
+    declared = header.get("payload_bytes")
+    if declared != len(payload):
+        raise ValueError(
+            f"blob payload truncated or padded: header promises "
+            f"{declared} bytes, blob holds {len(payload)}"
+        )
+    if zlib.crc32(payload) & 0xFFFFFFFF != header.get("crc32"):
+        raise ValueError(
+            "blob payload checksum mismatch — corrupt or tampered bytes"
+        )
+    encoding = header.get("encoding", "raw")
+    if encoding in ("zlib", "sparse-zlib"):
+        try:
+            payload = zlib.decompress(payload)
+        except zlib.error as err:
+            raise ValueError(
+                "blob payload fails to inflate — corrupt or tampered bytes"
+            ) from err
+    elif encoding != "raw":
+        raise ValueError(f"blob payload has unknown encoding {encoding!r}")
+    return header, payload
+
+
+def _read_header_any(data: bytes) -> dict:
+    """Header of a blob of either codec version."""
+    if _is_v2(data):
+        return _read_raw(data)[0]
+    return _read_blob(data)[0]
+
+
+def _validated_cell_buffer(payload: bytes, cells: int) -> np.ndarray:
+    """Interpret a dense v2 sketch payload as a field-major arena buffer.
+
+    Verifies the byte length against the expected ``4 * cells`` int64
+    cells and that the fingerprint half stays inside ``GF(2^31 - 1)`` —
+    the same guarantees the v1 loader enforced per field array.
+    """
+    if len(payload) != 4 * cells * 8:
+        raise ValueError(
+            f"blob cell buffer mis-sized: expected {4 * cells * 8} bytes "
+            f"for {cells} cells, got {len(payload)} — corrupt or tampered "
+            "blob"
+        )
+    raw = np.frombuffer(payload, dtype="<i8").astype(np.int64, copy=False)
+    fps = raw[2 * cells:]
+    if fps.size and (int(fps.min()) < 0 or int(fps.max()) >= MERSENNE31):
+        raise ValueError(
+            "blob fingerprint cells have values outside GF(2^31 - 1) — "
+            "corrupt or tampered blob"
+        )
+    return raw
+
+
+def _validated_sparse_cells(
+    header: dict, payload: bytes, cells: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Interpret a sparse v2 payload as ``(positions, values)``.
+
+    The payload is ``nnz`` strictly-increasing int64 buffer positions
+    followed by ``nnz`` int64 values; ordering gives uniqueness (so
+    scatters are well-defined) for free, and fingerprint-half values
+    must already be reduced mod ``2^31 - 1``.
+    """
+    nnz = header.get("nnz")
+    if not isinstance(nnz, int) or nnz < 0 or len(payload) != 16 * nnz:
+        raise ValueError(
+            f"blob sparse cell payload mis-sized: nnz={nnz!r} implies "
+            f"{16 * nnz if isinstance(nnz, int) else '?'} bytes, got "
+            f"{len(payload)} — corrupt or tampered blob"
+        )
+    raw = np.frombuffer(payload, dtype="<i8").astype(np.int64, copy=False)
+    idx, values = raw[:nnz], raw[nnz:]
+    if nnz:
+        if int(idx[0]) < 0 or int(idx[-1]) >= 4 * cells:
+            raise ValueError(
+                "blob sparse cell positions outside the buffer — corrupt "
+                "or tampered blob"
+            )
+        if not bool((np.diff(idx) > 0).all()):
+            raise ValueError(
+                "blob sparse cell positions not strictly increasing — "
+                "corrupt or tampered blob"
+            )
+        fp_values = values[idx >= 2 * cells]
+        if fp_values.size and (
+            int(fp_values.min()) < 0 or int(fp_values.max()) >= MERSENNE31
+        ):
+            raise ValueError(
+                "blob fingerprint cells have values outside GF(2^31 - 1) "
+                "— corrupt or tampered blob"
+            )
+    return idx, values
 
 
 # -- generic sketch registry ---------------------------------------------------
@@ -213,22 +392,34 @@ def dump_sketch(
     meta["cells"] = [int(b.size) for b in banks]
     if epoch_meta is not None:
         meta["epoch"] = dict(epoch_meta)
-    arrays = {
-        "phi": np.concatenate([b.phi for b in banks]),
-        "iota": np.concatenate([b.iota for b in banks]),
-        "fp1": np.concatenate([b.fp1 for b in banks]),
-        "fp2": np.concatenate([b.fp2 for b in banks]),
-    }
-    return _pack(_SKETCH_KIND_PREFIX + codec.kind, meta, arrays)
+    # Field-major arena buffer == the v1 concatenation order of
+    # phi/iota/fp1/fp2 across banks, but with zero gather work.  A
+    # lightly-loaded sketch (a site shard, an early epoch) ships as
+    # sparse (position, value) pairs instead — smaller bytes *and* an
+    # O(nnz) fold at the coordinator.
+    buffer = ensure_arena(sketch).buffer
+    idx = np.flatnonzero(buffer)
+    kind = _SKETCH_KIND_PREFIX + codec.kind
+    if 2 * idx.size <= buffer.size // 4:
+        meta["nnz"] = int(idx.size)
+        payload = (
+            idx.astype("<i8", copy=False).tobytes()
+            + buffer[idx].astype("<i8", copy=False).tobytes()
+        )
+        return _pack_raw(kind, meta, payload, encoding="sparse-zlib")
+    payload = buffer.astype("<i8", copy=False).tobytes()
+    return _pack_raw(kind, meta, payload, encoding="zlib")
 
 
 def load_sketch(data: bytes, like: Any | None = None) -> Any:
     """Reconstruct a sketch serialised by :func:`dump_sketch`.
 
     The stored parameters rebuild a fresh identically-seeded sketch and
-    the cell arrays are copied in, after verifying that the bank layout
+    the cell payload is copied in, after verifying that the bank layout
     implied by the parameters matches the payload exactly (mismatched
-    or tampered parameters refuse to load).
+    or tampered parameters refuse to load).  Both codec versions load:
+    v2 blobs restore the whole arena buffer in one copy; legacy v1
+    (npz) blobs restore bank by bank.
 
     Parameters
     ----------
@@ -240,7 +431,12 @@ def load_sketch(data: bytes, like: Any | None = None) -> Any:
         sketch into a local one.
     """
     _ensure_codecs_loaded()
-    header, arrays = _read_blob(data)
+    if _is_v2(data):
+        header, payload = _read_raw(data)
+        arrays = None
+    else:
+        header, arrays = _read_blob(data)
+        payload = None
     kind = header.get("__kind__", "")
     if not isinstance(kind, str) or not kind.startswith(_SKETCH_KIND_PREFIX):
         raise ValueError(
@@ -260,6 +456,23 @@ def load_sketch(data: bytes, like: Any | None = None) -> Any:
             f"reconstructed from its parameters — corrupt or tampered blob"
         )
     total = int(sum(cells))
+    if payload is not None:
+        arena = ensure_arena(sketch)
+        if header.get("encoding") == "sparse-zlib":
+            idx, values = _validated_sparse_cells(header, payload, total)
+            # A freshly constructed sketch's buffer is all zeros.
+            arena.buffer[idx] = values
+        else:
+            arena.buffer[:] = _validated_cell_buffer(payload, total)
+        return sketch
+    _restore_v1_arrays(banks, arrays, total)
+    return sketch
+
+
+def _restore_v1_arrays(
+    banks: "list[CellBank]", arrays: dict[str, np.ndarray], total: int
+) -> None:
+    """Copy a legacy v1 blob's four field arrays into the banks."""
     for name in ("phi", "iota", "fp1", "fp2"):
         arr = arrays.get(name)
         if arr is None or arr.shape != (total,):
@@ -286,13 +499,72 @@ def load_sketch(data: bytes, like: Any | None = None) -> Any:
         bank.fp1[:] = arrays["fp1"][offset:end]
         bank.fp2[:] = arrays["fp2"][offset:end]
         offset = end
-    return sketch
+
+
+def merge_sketch_bytes(sketch: Any, data: bytes) -> None:
+    """Fold a serialised sketch directly into ``sketch`` (coordinator path).
+
+    Equivalent to ``sketch.merge(load_sketch(data, like=sketch))`` but,
+    for v2 blobs, skips materialising the twin: after the same
+    parameter/seed/layout/fingerprint verification, the payload is
+    added straight into the live sketch's arena — two vector ops total.
+    Legacy v1 blobs fall back to reconstruct-and-merge.
+    """
+    _combine_sketch_bytes(sketch, data, subtract=False)
+
+
+def subtract_sketch_bytes(sketch: Any, data: bytes) -> None:
+    """Subtract a serialised sketch from ``sketch`` (temporal-window path).
+
+    The subtraction twin of :func:`merge_sketch_bytes` — materialising
+    an epoch window becomes one checkpoint load plus one in-arena
+    subtraction of the earlier checkpoint's bytes.
+    """
+    _combine_sketch_bytes(sketch, data, subtract=True)
+
+
+def _combine_sketch_bytes(sketch: Any, data: bytes, subtract: bool) -> None:
+    _ensure_codecs_loaded()
+    if _CODECS_BY_CLASS.get(type(sketch)) is None:
+        raise TypeError(
+            f"{type(sketch).__name__} has no registered sketch codec; "
+            f"known kinds: {', '.join(sorted(_CODECS_BY_KIND))}"
+        )
+    if not _is_v2(data):
+        other = load_sketch(data, like=sketch)
+        (sketch.subtract if subtract else sketch.merge)(other)
+        return
+    header, payload = _read_raw(data)
+    kind = header.get("__kind__", "")
+    if not isinstance(kind, str) or not kind.startswith(_SKETCH_KIND_PREFIX):
+        raise ValueError(
+            f"blob holds a {kind!r}, not a registry-serialised sketch"
+        )
+    codec = _CODECS_BY_KIND.get(kind[len(_SKETCH_KIND_PREFIX):])
+    if codec is None:
+        raise ValueError(f"unknown sketch kind {kind!r}")
+    _verify_like(codec, header, sketch)
+    banks = codec.banks(sketch)
+    cells = header.get("cells")
+    if cells != [int(b.size) for b in banks]:
+        raise ValueError(
+            f"blob cell layout {cells} does not match the local sketch — "
+            "corrupt or tampered blob"
+        )
+    total = int(sum(cells))
+    arena = ensure_arena(sketch)
+    if header.get("encoding") == "sparse-zlib":
+        idx, values = _validated_sparse_cells(header, payload, total)
+        arena._combine_sparse(idx, values, subtract=subtract)
+    else:
+        arena._combine_raw(
+            _validated_cell_buffer(payload, total), subtract=subtract
+        )
 
 
 def peek_sketch_meta(data: bytes) -> dict:
     """The blob's header (kind, parameters, seed) without reconstructing."""
-    header, _arrays = _read_blob(data)
-    return header
+    return _read_header_any(data)
 
 
 def _verify_like(codec: SketchCodec, header: dict, like: Any) -> None:
@@ -348,7 +620,7 @@ def dump_epoch_manifest(
     kinds = set()
     seeds = set()
     for payload in payloads:
-        header, _ = _read_blob(payload)
+        header = _read_header_any(payload)
         kinds.add(header.get("__kind__"))
         seeds.add(header.get("seed"))
     if len(kinds) != 1 or len(seeds) != 1:
@@ -361,11 +633,9 @@ def dump_epoch_manifest(
     header["sketch_seed"] = seeds.pop()
     header["epoch_ids"] = epoch_ids
     header["lengths"] = [len(p) for p in payloads]
-    blob = b"".join(payloads)
-    return _pack(
-        _MANIFEST_KIND, header,
-        {"payloads": np.frombuffer(blob, dtype=np.uint8)},
-    )
+    # Zero-copy bundling: the manifest payload *is* the checkpoint
+    # blobs back to back (each already carrying its own CRC).
+    return _pack_raw(_MANIFEST_KIND, header, b"".join(payloads))
 
 
 def load_epoch_manifest(data: bytes) -> tuple[dict, "list[bytes]"]:
@@ -376,9 +646,24 @@ def load_epoch_manifest(data: bytes) -> tuple[dict, "list[bytes]"]:
     that are not manifests, manifests whose concatenated payload bytes
     do not match the recorded lengths (truncation/padding), epoch ids
     that are not consecutive and increasing, and checkpoints whose
-    sketch kind or seed disagrees with the manifest header.
+    sketch kind or seed disagrees with the manifest header.  Reads both
+    codec versions (v1 fixtures keep loading).
     """
-    header, arrays = _unpack(data, _MANIFEST_KIND)
+    if _is_v2(data):
+        header, raw = _read_raw(data)
+        if header.get("__kind__") != _MANIFEST_KIND:
+            raise ValueError(
+                f"blob holds a {header.get('__kind__')!r}, "
+                f"expected {_MANIFEST_KIND!r}"
+            )
+    else:
+        header, arrays = _unpack(data, _MANIFEST_KIND)
+        blob = arrays.get("payloads")
+        if blob is None or blob.dtype != np.uint8:
+            raise ValueError(
+                "epoch manifest payload array missing or mis-typed"
+            )
+        raw = blob.tobytes()
     epoch_ids = header.get("epoch_ids")
     lengths = header.get("lengths")
     if not isinstance(epoch_ids, list) or not isinstance(lengths, list):
@@ -394,10 +679,6 @@ def load_epoch_manifest(data: bytes) -> tuple[dict, "list[bytes]"]:
             f"1..{len(epoch_ids)} — out-of-order, duplicated, or offset "
             "checkpoints"
         )
-    blob = arrays.get("payloads")
-    if blob is None or blob.dtype != np.uint8:
-        raise ValueError("epoch manifest payload array missing or mis-typed")
-    raw = blob.tobytes()
     if sum(lengths) != len(raw):
         raise ValueError(
             f"epoch manifest payloads truncated or padded: header promises "
@@ -411,7 +692,7 @@ def load_epoch_manifest(data: bytes) -> tuple[dict, "list[bytes]"]:
         payloads.append(raw[offset:offset + length])
         offset += length
     for i, payload in enumerate(payloads):
-        chk_header, _ = _read_blob(payload)
+        chk_header = _read_header_any(payload)
         if chk_header.get("__kind__") != header.get("sketch_kind"):
             raise ValueError(
                 f"checkpoint {epoch_ids[i]} holds a "

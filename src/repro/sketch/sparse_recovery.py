@@ -29,6 +29,7 @@ import numpy as np
 from ..errors import RecoveryFailed, SketchCompatibilityError, incompatible
 from ..hashing import MERSENNE31, HashSource, powmod
 from ..hashing.field import mod_mersenne31, powmod_array
+from .arena import ArenaBacked
 from .bank import CellBank
 from .base import LinearSketch
 
@@ -145,7 +146,7 @@ class SparseRecovery(LinearSketch):
         )
 
 
-class SparseRecoveryBank:
+class SparseRecoveryBank(ArenaBacked):
     """``groups × instances`` k-RECOVERY structures in one numpy bank.
 
     The SPARSIFICATION algorithm (Fig. 3) keeps one instance per
@@ -243,19 +244,24 @@ class SparseRecoveryBank:
                 "SparseRecoveryBank", "seed", self.source_seed, other.source_seed
             )
 
+    def _cell_banks(self) -> list[CellBank]:
+        return [self.bank]
+
     def merge(self, other: "SparseRecoveryBank") -> None:
         """Cell-wise merge of an identically-shaped bank."""
         self._require_combinable(other)
-        self.bank.merge(other.bank)
+        self.bank._require_combinable(other.bank)
+        self.arena.merge(other.arena)
 
     def subtract(self, other: "SparseRecoveryBank") -> None:
         """Cell-wise subtraction of an identically-shaped bank."""
         self._require_combinable(other)
-        self.bank.subtract(other.bank)
+        self.bank._require_combinable(other.bank)
+        self.arena.subtract(other.arena)
 
     def negate(self) -> None:
         """In-place negation of every sketched vector."""
-        self.bank.negate()
+        self.arena.negate()
 
     def _instance_cells(self, group: int, instance: int) -> np.ndarray:
         start = (group * self.instances + instance) * self._cells_per_instance

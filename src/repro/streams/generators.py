@@ -26,7 +26,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import StreamError
-from ..hashing import HashSource
 from .stream import DynamicGraphStream
 from .update import EdgeUpdate
 

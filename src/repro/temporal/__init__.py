@@ -30,7 +30,13 @@ three routes — direct window stream, checkpoint subtraction, and
 sharded-then-subtracted — byte-identical for every sketch class.
 """
 
-from .epochs import EpochCheckpoint, EpochManager, EpochTimeline, epoch_boundaries
+from .epochs import (
+    EpochCheckpoint,
+    EpochManager,
+    EpochTimeline,
+    epoch_boundaries,
+    normalize_boundaries,
+)
 from .query import TemporalQueryEngine, window_answer
 
 __all__ = [
@@ -39,5 +45,6 @@ __all__ = [
     "EpochTimeline",
     "TemporalQueryEngine",
     "epoch_boundaries",
+    "normalize_boundaries",
     "window_answer",
 ]

@@ -9,9 +9,13 @@ one subtraction, instead of ``t2 - t1`` delta merges.
 
 Checkpoints are plain :func:`repro.sketch.dump_sketch` payloads with
 epoch metadata attached, so everything the serialisation layer already
-verifies (parameters, seed, cell layout, fingerprint range) applies to
-temporal storage too, and a checkpoint can be loaded, merged, or
-subtracted like any shipped sketch.
+verifies (parameters, seed, cell layout, fingerprint range, payload
+CRC) applies to temporal storage too, and a checkpoint can be loaded,
+merged, or subtracted like any shipped sketch.  With the arena codec,
+sealing is a single buffer snapshot (early, lightly-loaded epochs ship
+as sparse ``(position, value)`` pairs) and the query engine folds an
+earlier checkpoint's *bytes* straight into a materialised window —
+see :func:`repro.sketch.subtract_sketch_bytes`.
 """
 
 from __future__ import annotations

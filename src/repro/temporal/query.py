@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..errors import RecoveryFailed, SketchFailure
-from ..sketch.serialize import load_sketch
+from ..sketch.serialize import load_sketch, subtract_sketch_bytes
 from .epochs import EpochTimeline
 
 __all__ = ["TemporalQueryEngine", "window_answer"]
@@ -68,7 +68,9 @@ class TemporalQueryEngine:
         self._require_window(t1, t2)
         sketch = load_sketch(self.timeline.checkpoint(t2).payload)
         if t1 > 0:
-            sketch.subtract(load_sketch(self.timeline.checkpoint(t1).payload))
+            # In-arena subtraction of the earlier checkpoint's bytes —
+            # no second twin sketch is materialised.
+            subtract_sketch_bytes(sketch, self.timeline.checkpoint(t1).payload)
         return sketch
 
     def prefix_sketch(self, t: int) -> Any:

@@ -27,7 +27,6 @@ from repro.core import (
     SubgraphSketch,
     WeightedSparsification,
 )
-from repro.hashing import HashSource
 from repro.sketch.bank import CellBank
 from repro.streams import (
     churn_stream,

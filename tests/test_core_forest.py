@@ -12,7 +12,6 @@ from repro.core import (
     incidence_rows,
 )
 from repro.graphs import Graph, connected_components
-from repro.hashing import HashSource
 from repro.streams import (
     DynamicGraphStream,
     EdgeUpdate,

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core import MinCutSketch, default_k
 from repro.graphs import Graph, global_min_cut_value
-from repro.hashing import HashSource
 from repro.streams import (
     churn_stream,
     dumbbell_graph,

@@ -11,8 +11,6 @@ from repro.core import (
     is_k_connected_sketch,
 )
 from repro.errors import RecoveryFailed, StreamError
-from repro.graphs import Graph
-from repro.hashing import HashSource
 from repro.streams import (
     DynamicGraphStream,
     churn_stream,

@@ -14,7 +14,6 @@ from repro.core import (
     recurse_connect_stretch_bound,
 )
 from repro.graphs import Graph, measure_stretch, verify_subgraph
-from repro.hashing import HashSource
 from repro.streams import (
     DynamicGraphStream,
     churn_stream,

@@ -15,13 +15,11 @@ from repro.core import (
 )
 from repro.errors import GraphError
 from repro.graphs import Graph
-from repro.hashing import HashSource
 from repro.streams import (
     DynamicGraphStream,
     churn_stream,
     erdos_renyi_graph,
     path_graph,
-    planted_partition_graph,
     random_weighted_edges,
     stream_from_edges,
     weighted_churn_stream,

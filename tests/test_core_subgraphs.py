@@ -20,7 +20,6 @@ from repro.core import (
 )
 from repro.errors import NotSupportedError
 from repro.graphs import Graph, gamma_exact
-from repro.hashing import HashSource
 from repro.streams import (
     DynamicGraphStream,
     churn_stream,

@@ -170,6 +170,26 @@ class TestCliTemporal:
         assert main(["epochs", "--sites", "0"]) == 2
         assert "--sites" in capsys.readouterr().err
 
+    def test_epochs_explicit_boundaries(self, capsys):
+        # Demo stream is 487 tokens; an increasing grid ending there works.
+        assert main(["epochs", "--boundaries", "100,300,487"]) == 0
+        assert "3 explicit epochs" in capsys.readouterr().out
+        assert main([
+            "epochs", "--boundaries", "100,300,487", "--sites", "2",
+        ]) == 0
+        assert "sharded across 2 sites" in capsys.readouterr().out
+
+    def test_epochs_rejects_bad_boundary_grids(self, capsys):
+        """A bad grid exits 2 with a clear message, never a traceback."""
+        assert main(["epochs", "--boundaries", "300,100,487"]) == 2
+        assert "non-decreasing" in capsys.readouterr().err
+        assert main(["epochs", "--boundaries", "100,300"]) == 2
+        assert "final boundary" in capsys.readouterr().err
+        assert main(["epochs", "--boundaries", "100,abc"]) == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+        assert main(["epochs", "--boundaries", ""]) == 2
+        assert "at least one" in capsys.readouterr().err
+
     def test_window_query_roundtrip_through_manifest(self, tmp_path, capsys):
         manifest = tmp_path / "forest.manifest"
         assert main(["epochs", "--epochs", "4", "--out", str(manifest)]) == 0

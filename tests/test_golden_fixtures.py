@@ -1,15 +1,17 @@
 """Golden-fixture regression tests for persisted checkpoint manifests.
 
-``tests/fixtures/*.manifest`` are epoch manifests serialised by the
-code as of this test's introduction (n=10 Erdős–Rényi churn workload,
-3 epochs; seeds recorded below).  Today's code must keep *loading* them
-and keep giving the *same answers* — the compatibility promise for
-sketches persisted by a long-running service.  A codec change that
-cannot read old bytes, or reads them into different cell arrays, fails
-here instead of silently corrupting stored checkpoints.
+``tests/fixtures/*_v1.manifest`` are epoch manifests serialised by the
+original npz codec (n=10 Erdős–Rényi churn workload, 3 epochs; seeds
+recorded below); ``*_v2.manifest`` are the same checkpoints migrated
+through the arena codec (``load_sketch`` of each v1 payload,
+re-``dump_sketch``).  Today's code must keep *loading* both and keep
+giving the *same answers* — the compatibility promise for sketches
+persisted by a long-running service.  A codec change that cannot read
+old bytes, or reads them into different cell arrays, fails here
+instead of silently corrupting stored checkpoints.
 
 If the format ever changes intentionally, add a new fixture version
-(``*_v2.manifest``) and a migration path — do not regenerate these.
+(``*_v3.manifest``) and a migration path — do not regenerate these.
 """
 
 from __future__ import annotations
@@ -86,6 +88,44 @@ class TestForestFixture:
         )
         twin.merge(restored)  # no SketchCompatibilityError
         assert dump_sketch(twin) == dump_sketch(restored)
+
+
+class TestV2Fixtures:
+    """The arena-codec fixtures answer identically to their v1 twins."""
+
+    @pytest.mark.parametrize("name", ["forest_epochs", "mincut_epochs"])
+    def test_v2_fixture_answers_match_v1(self, name):
+        v1 = EpochTimeline.from_bytes(
+            (FIXTURES / f"{name}_v1.manifest").read_bytes()
+        )
+        v2 = EpochTimeline.from_bytes(
+            (FIXTURES / f"{name}_v2.manifest").read_bytes()
+        )
+        assert v2.n == v1.n
+        assert v2.boundaries == v1.boundaries
+        e1, e2 = TemporalQueryEngine(v1), TemporalQueryEngine(v2)
+        for t in range(1, v1.epochs + 1):
+            assert e2.answer(0, t) == e1.answer(0, t)
+        # Cross-version algebra: a v1 checkpoint merges into a sketch
+        # loaded from the v2 fixture (same parameters and seed).
+        mixed = e2.prefix_sketch(1)
+        mixed.merge(e1.prefix_sketch(1))
+        assert dump_sketch(mixed) != dump_sketch(e2.prefix_sketch(1))
+
+    @pytest.mark.parametrize("name", ["forest_epochs", "mincut_epochs"])
+    def test_v1_payload_redumps_to_v2_fixture_state(self, name):
+        v1 = EpochTimeline.from_bytes(
+            (FIXTURES / f"{name}_v1.manifest").read_bytes()
+        )
+        v2 = EpochTimeline.from_bytes(
+            (FIXTURES / f"{name}_v2.manifest").read_bytes()
+        )
+        from repro.sketch import load_sketch
+
+        for chk_v1, chk_v2 in zip(v1.checkpoints, v2.checkpoints):
+            migrated = load_sketch(chk_v1.payload)
+            restored = load_sketch(chk_v2.payload, like=migrated)
+            assert dump_sketch(migrated) == dump_sketch(restored)
 
 
 class TestMinCutFixture:

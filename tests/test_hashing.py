@@ -7,7 +7,6 @@ import pytest
 
 from repro.hashing import (
     MERSENNE31,
-    HashSource,
     KWiseHash,
     NisanPRG,
     horner_mod,

@@ -32,7 +32,6 @@ from repro.streams import (
     dumbbell_graph,
     erdos_renyi_graph,
     planted_partition_graph,
-    stream_from_edges,
 )
 
 

@@ -9,11 +9,10 @@ returns a silently wrong one.
 from __future__ import annotations
 
 import functools
-import io
-import json
 
 import numpy as np
 import pytest
+from blob_utils import pack_v1_sketch, repack_v2
 
 from repro.core import SpanningForestSketch
 from repro.distributed import forest_sketch
@@ -49,18 +48,8 @@ def timeline(stream) -> EpochTimeline:
 
 
 def _repack(blob: bytes, mutate) -> bytes:
-    """Unpack an npz blob, apply ``mutate(header, arrays)``, repack."""
-    with np.load(io.BytesIO(blob)) as npz:
-        header = json.loads(bytes(npz["__header__"]).decode())
-        arrays = {k: npz[k].copy() for k in npz.files if k != "__header__"}
-    mutate(header, arrays)
-    buf = io.BytesIO()
-    np.savez_compressed(
-        buf,
-        __header__=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
-        **arrays,
-    )
-    return buf.getvalue()
+    """Unpack a v2 blob, apply ``mutate(header, payload)``, reseal."""
+    return repack_v2(blob, mutate)
 
 
 class TestLoadSketchFuzz:
@@ -75,16 +64,31 @@ class TestLoadSketchFuzz:
             with pytest.raises(ValueError):
                 load_sketch(small[:keep])
 
+    @pytest.mark.parametrize("cut", [8, 80, 1])
+    def test_mis_sized_cell_buffer_rejected(self, blob, cut):
+        """A resealed (valid-CRC) blob with missing cell bytes refuses."""
+        def shrink(_header, payload):
+            del payload[-cut:]
+
+        with pytest.raises(ValueError, match="mis-sized"):
+            load_sketch(_repack(blob, shrink))
+
     @pytest.mark.parametrize("dtype", [np.int32, np.float64, np.uint8])
-    def test_flipped_dtype_fields_rejected(self, blob, dtype):
+    def test_v1_flipped_dtype_fields_rejected(self, blob, dtype):
+        """The legacy-v1 read path still rejects mis-typed field arrays."""
         def flip(_header, arrays):
             arrays["phi"] = arrays["phi"].astype(dtype)
 
         with pytest.raises(ValueError, match="dtype|mis-sized"):
-            load_sketch(_repack(blob, flip))
+            load_sketch(pack_v1_sketch(blob, flip))
+
+    def test_v1_reencoded_blob_loads_identically(self, blob):
+        """A v1 re-encoding of a v2 blob reconstructs the same sketch."""
+        v1 = pack_v1_sketch(blob)
+        assert dump_sketch(load_sketch(v1)) == blob
 
     def test_flipped_delta_bytes_rejected_or_detected(self, blob):
-        """Bit flips inside the compressed container break the zip CRC."""
+        """Bit flips anywhere in the blob break the payload CRC32."""
         corrupted = bytearray(blob)
         corrupted[len(corrupted) // 3] ^= 0x40
         with pytest.raises(ValueError):
@@ -117,8 +121,8 @@ class TestManifestCorruption:
 
     def test_truncated_inner_payloads_rejected(self, timeline):
         """Header promises more payload bytes than the blob holds."""
-        def drop_tail(_header, arrays):
-            arrays["payloads"] = arrays["payloads"][:-20]
+        def drop_tail(_header, payload):
+            del payload[-20:]
 
         with pytest.raises(ValueError, match="truncated or padded"):
             load_epoch_manifest(_repack(timeline.to_bytes(), drop_tail))

@@ -7,7 +7,6 @@ exactness, Gomory–Hu agreement — under adversarially generated inputs.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

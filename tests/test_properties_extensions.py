@@ -2,14 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import BipartitenessSketch, CutEdgesSketch, MSTWeightSketch
 from repro.errors import RecoveryFailed
-from repro.graphs import Graph, UnionFind
+from repro.graphs import UnionFind
 from repro.hashing import HashSource
 from repro.streams import (
     DynamicGraphStream,

@@ -235,49 +235,37 @@ class TestRefusals:
             load_sketch(dump_sketch(forest), like=cut)
 
     def test_tampered_fingerprint_values_rejected(self):
-        """Out-of-field fingerprint values refuse to load."""
-        import io
-        import json
+        """Out-of-field fingerprint values refuse to load (both codecs)."""
+        import struct
 
-        import numpy as np
+        from blob_utils import densify_sketch_v2, pack_v1_sketch, repack_v2
 
         from repro.hashing import MERSENNE31
 
         blob = dump_sketch(SpanningForestSketch(N, HashSource(3004)))
-        with np.load(io.BytesIO(blob)) as npz:
-            header = json.loads(bytes(npz["__header__"]).decode())
-            arrays = {k: npz[k].copy() for k in npz.files if k != "__header__"}
-        arrays["fp1"][0] = MERSENNE31  # just past the field modulus
-        buf = io.BytesIO()
-        np.savez_compressed(
-            buf,
-            __header__=np.frombuffer(
-                json.dumps(header).encode(), dtype=np.uint8
-            ),
-            **arrays,
-        )
+
+        def poison_v2(header, payload):
+            # First fp1 cell sits after the phi and iota halves.
+            offset = 2 * int(sum(header["cells"])) * 8
+            struct.pack_into("<q", payload, offset, MERSENNE31)
+
         with pytest.raises(ValueError, match="outside"):
-            load_sketch(buf.getvalue())
+            load_sketch(repack_v2(densify_sketch_v2(blob), poison_v2))
+
+        def poison_v1(_header, arrays):
+            arrays["fp1"][0] = MERSENNE31  # just past the field modulus
+
+        with pytest.raises(ValueError, match="outside"):
+            load_sketch(pack_v1_sketch(blob, poison_v1))
 
     def test_tampered_cells_meta_rejected(self):
         """A blob whose cell layout disagrees with its params refuses."""
-        import io
-        import json
-
-        import numpy as np
+        from blob_utils import repack_v2
 
         blob = dump_sketch(SpanningForestSketch(N, HashSource(3003)))
-        with np.load(io.BytesIO(blob)) as npz:
-            header = json.loads(bytes(npz["__header__"]).decode())
-            arrays = {k: npz[k] for k in npz.files if k != "__header__"}
-        header["cells"] = [1]  # lie about the layout
-        buf = io.BytesIO()
-        np.savez_compressed(
-            buf,
-            __header__=np.frombuffer(
-                json.dumps(header).encode(), dtype=np.uint8
-            ),
-            **arrays,
-        )
+
+        def lie(header, _payload):
+            header["cells"] = [1]  # lie about the layout
+
         with pytest.raises(ValueError, match="cell layout"):
-            load_sketch(buf.getvalue())
+            load_sketch(repack_v2(blob, lie))

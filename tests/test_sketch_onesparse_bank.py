@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.errors import SketchFailure
-from repro.hashing import MERSENNE31, HashSource
+from repro.hashing import MERSENNE31
 from repro.sketch import CellBank, OneSparseCell, decode_cells
 
 

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.errors import RecoveryFailed
-from repro.hashing import HashSource
 from repro.sketch import (
     SparseRecovery,
     SparseRecoveryBank,
