@@ -5,18 +5,20 @@ The Section 4 motivation: a friendship graph where relationships form
 moment an edge is deleted; the linear subgraph sketch does not care.
 
 The script simulates three "eras" of a social network — growth, a
-community merge, then heavy churn — checkpointing γ_triangle and
-γ_path3 (the clustering signature) after each era from ONE sketch that
-was fed the whole token stream, and compares against exact censuses.
+community merge, then heavy churn — answering γ_triangle and γ_path3
+(the clustering signature) after each era through a
+``subgraph_count`` engine, and compares against exact censuses.
 
-Run:  python examples/dynamic_social_network.py
+Run:  python examples/dynamic_social_network.py [--quick]
 """
 
 from __future__ import annotations
 
+import argparse
+
 import numpy as np
 
-from repro import DynamicGraphStream, HashSource, SubgraphSketch
+from repro import DynamicGraphStream, GraphSketchEngine, SketchSpec, SubgraphCountQuery
 from repro.core import PATH_3, TRIANGLE, encoding_class
 from repro.graphs import Graph, gamma_exact, triangle_count
 
@@ -50,42 +52,49 @@ def era_churn(stream: DynamicGraphStream, rng: np.random.Generator) -> None:
         stream.insert(u, v)
 
 
-def checkpoint(name: str, stream: DynamicGraphStream, seed: int) -> None:
-    """Rebuild a sketch over the stream so far and report estimates."""
+def checkpoint(name: str, stream: DynamicGraphStream, seed: int,
+               samplers: int) -> None:
+    """Sketch the stream so far through the engine and report estimates."""
     n = stream.n
-    sketch = SubgraphSketch(
-        n, order=3, samplers=128, source=HashSource(seed)
-    ).consume(stream)
+    engine = GraphSketchEngine.for_spec(
+        SketchSpec.of("subgraph_count", n, seed=seed, order=3,
+                      samplers=samplers)
+    ).ingest(stream)
     graph = Graph.from_multiplicities(n, stream.multiplicities())
-    est = sketch.estimate_many([TRIANGLE, PATH_3])
+    tri = engine.query(SubgraphCountQuery("triangle"))
+    p3 = engine.query(SubgraphCountQuery("path3"))
     g_tri = gamma_exact(graph, encoding_class(TRIANGLE), 3)
     g_p3 = gamma_exact(graph, encoding_class(PATH_3), 3)
     print(f"[{name}] edges={graph.num_edges():3d} "
           f"triangles={triangle_count(graph):3d} | "
-          f"γ_triangle sketch={est['triangle'].gamma:.3f} exact={g_tri:.3f} | "
-          f"γ_path3 sketch={est['path3'].gamma:.3f} exact={g_p3:.3f}")
+          f"γ_triangle sketch={tri.gamma:.3f} exact={g_tri:.3f} | "
+          f"γ_path3 sketch={p3.gamma:.3f} exact={g_p3:.3f}")
 
 
-def main() -> None:
+def main(quick: bool = False) -> None:
     n = 27
+    samplers = 64 if quick else 128
     rng = np.random.default_rng(7)
     stream = DynamicGraphStream(n)
 
     print("era 1: two communities grow")
     era_growth(stream, rng)
-    checkpoint("growth", stream, seed=101)
+    checkpoint("growth", stream, seed=101, samplers=samplers)
 
     print("era 2: communities merge")
     era_merge(stream, rng)
-    checkpoint("merge ", stream, seed=102)
+    checkpoint("merge ", stream, seed=102, samplers=samplers)
 
     print("era 3: churn (deletions!) — insert-only estimators break here")
     era_churn(stream, rng)
-    checkpoint("churn ", stream, seed=103)
+    checkpoint("churn ", stream, seed=103, samplers=samplers)
 
     print("\nThe same linear sketch served all eras: deletions simply")
     print("cancelled the earlier insertions inside the sketch (Section 1.1).")
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description="subgraph tracking demo")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer samplers for CI")
+    main(quick=parser.parse_args().quick)

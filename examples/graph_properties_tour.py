@@ -2,30 +2,42 @@
 
 The paper builds on its companion work [4], which established sketches
 for connectivity, k-connectivity, bipartiteness and minimum spanning
-trees.  This library ships all of them; the tour runs each on a small
-infrastructure-flavoured scenario:
+trees.  This library ships all of them behind the engine's capability
+registry; the tour runs each on a small infrastructure-flavoured
+scenario:
 
 * **bipartiteness** — is a task-machine assignment graph still 2-
-  colourable after a stream of edits?
+  colourable after a stream of edits? (``PropertiesQuery``)
 * **k-edge-connectivity** — does the data-centre fabric survive any
-  k-1 link failures?
+  k-1 link failures? (``KEdgeConnectivityQuery``)
 * **MST weight** — cheapest cabling to keep everything connected, with
-  costs as weights, under churn.
+  costs as weights, under churn. (``PropertiesQuery``)
 * **cut queries** — list the exact links crossing a rack boundary.
+  (``CutQuery``)
 
-Run:  python examples/graph_properties_tour.py
+Run:  python examples/graph_properties_tour.py [--quick]
 """
 
 from __future__ import annotations
 
-from repro import DynamicGraphStream, HashSource
-from repro.core import (
-    BipartitenessSketch,
-    CutEdgesSketch,
-    MSTWeightSketch,
-    is_k_connected_sketch,
+import argparse
+
+from repro import (
+    CutQuery,
+    DynamicGraphStream,
+    GraphSketchEngine,
+    KEdgeConnectivityQuery,
+    PropertiesQuery,
+    SketchSpec,
 )
 from repro.streams import complete_bipartite_graph, dumbbell_graph
+
+
+def bipartite(stream: DynamicGraphStream, seed: int) -> bool:
+    engine = GraphSketchEngine.for_spec(
+        SketchSpec.of("bipartiteness", stream.n, seed=seed)
+    ).ingest(stream)
+    return engine.query(PropertiesQuery())["bipartite"]
 
 
 def bipartite_demo() -> None:
@@ -34,17 +46,14 @@ def bipartite_demo() -> None:
     stream = DynamicGraphStream(n)
     for u, v in complete_bipartite_graph(4, 5):
         stream.insert(u, v)
-    sketch = BipartitenessSketch(n, HashSource(1)).consume(stream)
-    print(f"  assignment graph bipartite: {sketch.is_bipartite()}")
+    print(f"  assignment graph bipartite: {bipartite(stream, 1)}")
 
     # A task-task dependency sneaks in: odd structure appears.
     stream.insert(0, 1)
-    sketch2 = BipartitenessSketch(n, HashSource(1)).consume(stream)
-    print(f"  after a task-task edge   : {sketch2.is_bipartite()}")
+    print(f"  after a task-task edge   : {bipartite(stream, 1)}")
 
     stream.delete(0, 1)
-    sketch3 = BipartitenessSketch(n, HashSource(1)).consume(stream)
-    print(f"  after deleting it again  : {sketch3.is_bipartite()}")
+    print(f"  after deleting it again  : {bipartite(stream, 1)}")
 
 
 def connectivity_demo() -> None:
@@ -55,10 +64,14 @@ def connectivity_demo() -> None:
     for u, v in dumbbell_graph(clique, uplinks):
         stream.insert(u, v)
     for k in (3, 4, 5):
-        ok = is_k_connected_sketch(n, k, stream, HashSource(2 + k))
-        verdict = "survives" if ok else "can be partitioned by"
+        engine = GraphSketchEngine.for_spec(
+            SketchSpec.of("edge_connectivity", n, seed=2 + k, k=k)
+        ).ingest(stream)
+        result = engine.query(KEdgeConnectivityQuery())
+        verdict = "survives" if result.is_k_connected else "can be partitioned by"
         print(f"  {verdict} any {k - 1} link failures "
-              f"({k}-connected: {ok})")
+              f"({k}-connected: {result.is_k_connected}, "
+              f"witness {result.witness_edges} edges)")
 
 
 def mst_demo() -> None:
@@ -69,15 +82,18 @@ def mst_demo() -> None:
     links = [(0, 1, 2), (1, 2, 3), (2, 3, 2), (3, 4, 4), (4, 5, 1), (5, 0, 7)]
     for u, v, cost in links:
         stream.insert(u, v, copies=cost)
-    sketch = MSTWeightSketch(n, max_weight=8, source=HashSource(9)).consume(stream)
-    print(f"  minimum cabling cost: {sketch.estimate():.0f} "
+    spec = SketchSpec.of("mst_weight", n, seed=9, max_weight=8)
+    engine = GraphSketchEngine.for_spec(spec).ingest(stream)
+    print(f"  minimum cabling cost: "
+          f"{engine.query(PropertiesQuery())['mst_weight']:.0f} "
           f"(ring minus the cost-7 link = 12)")
 
     # The cheap 4-5 link is decommissioned and replaced, pricier.
     stream.delete(4, 5, copies=1)
     stream.insert(4, 5, copies=6)
-    sketch2 = MSTWeightSketch(n, max_weight=8, source=HashSource(9)).consume(stream)
-    print(f"  after re-pricing 4-5: {sketch2.estimate():.0f}")
+    engine2 = GraphSketchEngine.for_spec(spec).ingest(stream)
+    print(f"  after re-pricing 4-5: "
+          f"{engine2.query(PropertiesQuery())['mst_weight']:.0f}")
 
 
 def cut_query_demo() -> None:
@@ -87,14 +103,16 @@ def cut_query_demo() -> None:
     stream = DynamicGraphStream(n)
     for u, v in dumbbell_graph(clique, uplinks):
         stream.insert(u, v)
-    sketch = CutEdgesSketch(n, k=8, source=HashSource(17)).consume(stream)
-    rack_a = set(range(clique))
-    crossing = sketch.crossing_edges(rack_a)
-    print(f"  links crossing rack A boundary: {sorted(crossing)}")
-    print(f"  boundary capacity: {sketch.cut_value(rack_a)}")
+    engine = GraphSketchEngine.for_spec(
+        SketchSpec.of("cut_edges", n, seed=17, k=8)
+    ).ingest(stream)
+    result = engine.query(CutQuery(side=frozenset(range(clique))))
+    print(f"  links crossing rack A boundary: "
+          f"{sorted((u, v) for u, v, _m in result.crossing_edges)}")
+    print(f"  boundary capacity: {result.cut_value}")
 
 
-def main() -> None:
+def main(quick: bool = False) -> None:
     bipartite_demo()
     connectivity_demo()
     mst_demo()
@@ -102,4 +120,7 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description="property sketch tour")
+    parser.add_argument("--quick", action="store_true",
+                        help="accepted for CI symmetry (already tiny)")
+    main(quick=parser.parse_args().quick)

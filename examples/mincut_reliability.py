@@ -7,30 +7,32 @@ wasteful; a MINCUT sketch (Fig. 1) is ~polylog per node and is simply
 *updated* by each link event.
 
 The script drives a dumbbell backbone (two dense regions joined by a
-few cross-links) through failure waves and checks the sketch estimate
+few cross-links) through failure waves and checks the engine estimate
 against the exact cut after each wave.
 
-Run:  python examples/mincut_reliability.py
+Run:  python examples/mincut_reliability.py [--quick]
 """
 
 from __future__ import annotations
 
-from repro import DynamicGraphStream, HashSource, MinCutSketch
+import argparse
+
+from repro import DynamicGraphStream, GraphSketchEngine, MinCutQuery, SketchSpec
 from repro.graphs import Graph, global_min_cut_value
 from repro.streams import dumbbell_graph
 
 
 def estimate_now(stream: DynamicGraphStream, seed: int) -> tuple[float, float]:
-    """Sketch estimate and exact value for the current topology."""
-    sketch = MinCutSketch(
-        stream.n, epsilon=0.5, source=HashSource(seed), c_k=1.5
-    ).consume(stream)
+    """Engine estimate and exact value for the current topology."""
+    engine = GraphSketchEngine.for_spec(
+        SketchSpec.of("mincut", stream.n, seed=seed, epsilon=0.5, c_k=1.5)
+    ).ingest(stream)
     graph = Graph.from_multiplicities(stream.n, stream.multiplicities())
-    return sketch.estimate().value, global_min_cut_value(graph)
+    return engine.query(MinCutQuery()).value, global_min_cut_value(graph)
 
 
-def main() -> None:
-    clique, bridges = 9, 5
+def main(quick: bool = False) -> None:
+    clique, bridges = (7, 4) if quick else (9, 5)
     n = 2 * clique
     stream = DynamicGraphStream(n)
     for u, v in dumbbell_graph(clique, bridges):
@@ -65,4 +67,7 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description="min-cut monitoring demo")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller backbone for CI")
+    main(quick=parser.parse_args().quick)

@@ -1,29 +1,33 @@
-"""Quickstart: sketch a dynamic graph stream and query it.
+"""Quickstart: sketch a dynamic graph stream through the engine API.
 
-Builds a small dynamic stream (insertions *and* deletions), feeds it to
-three sketches in a single pass, and queries them:
+Builds a small dynamic stream (insertions *and* deletions), declares
+three :class:`~repro.SketchSpec`\\ s, and answers typed queries through
+one :class:`~repro.GraphSketchEngine` each:
 
 * connectivity / spanning forest (AGM sketch),
 * (1+ε) minimum cut (Fig. 1),
 * cut sparsifier (Fig. 2).
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--quick]
 """
 
 from __future__ import annotations
 
+import argparse
+
 from repro import (
+    ConnectivityQuery,
     DynamicGraphStream,
-    HashSource,
-    MinCutSketch,
-    SimpleSparsification,
-    SpanningForestSketch,
+    GraphSketchEngine,
+    MinCutQuery,
+    SketchSpec,
+    SparsifierQuery,
 )
 from repro.core import cut_approximation_report
 from repro.graphs import Graph, global_min_cut_value
 
 
-def main() -> None:
+def main(quick: bool = False) -> None:
     n = 10
 
     # A dynamic stream: build a cycle, add chords, then churn some edges.
@@ -42,27 +46,36 @@ def main() -> None:
     # Ground truth for comparison (a real deployment never has this).
     graph = Graph.from_multiplicities(n, stream.multiplicities())
 
-    # --- sketch 1: connectivity ------------------------------------------------
-    forest = SpanningForestSketch(n, HashSource(1)).consume(stream)
-    print(f"connected: {forest.is_connected()} "
-          f"(components: {len(forest.connected_components())})")
+    # --- engine 1: connectivity -------------------------------------------------
+    forest = GraphSketchEngine.for_spec(
+        SketchSpec.of("spanning_forest", n, seed=1)
+    ).ingest(stream)
+    conn = forest.query(ConnectivityQuery(u=0, v=5))
+    print(f"connected: {conn.connected} (components: {conn.components}, "
+          f"0~5: {conn.same_component})")
 
-    # --- sketch 2: minimum cut --------------------------------------------------
-    mincut = MinCutSketch(n, epsilon=0.5, source=HashSource(2)).consume(stream)
-    result = mincut.estimate()
+    # --- engine 2: minimum cut --------------------------------------------------
+    mincut = GraphSketchEngine.for_spec(
+        SketchSpec.of("mincut", n, seed=2, epsilon=0.5)
+    ).ingest(stream)
+    result = mincut.query(MinCutQuery())
     print(f"min cut: sketch={result.value} exact={global_min_cut_value(graph)}")
 
-    # --- sketch 3: sparsifier ---------------------------------------------------
-    sparsify = SimpleSparsification(
-        n, epsilon=0.5, source=HashSource(3)
-    ).consume(stream)
-    sparsifier = sparsify.sparsifier()
-    report = cut_approximation_report(graph, sparsifier)
-    print(f"sparsifier: {sparsifier.num_edges}/{graph.num_edges()} edges, "
+    # --- engine 3: sparsifier ---------------------------------------------------
+    sparsify = GraphSketchEngine.for_spec(
+        SketchSpec.of("simple_sparsification", n, seed=3, epsilon=0.5)
+    ).ingest(stream)
+    sparse = sparsify.query(SparsifierQuery())
+    report = cut_approximation_report(graph, sparse.sparsifier)
+    print(f"sparsifier: {sparse.edges}/{graph.num_edges()} edges, "
           f"max cut error {report.max_relative_error:.3f} over "
           f"{report.cuts_evaluated} cuts "
           f"({'exhaustive' if report.exhaustive else 'sampled'})")
+    print(f"  (answered in {sparse.telemetry.seconds * 1e3:.1f} ms)")
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description="engine API quickstart")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sizes for CI (already tiny here)")
+    main(quick=parser.parse_args().quick)

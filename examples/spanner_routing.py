@@ -2,7 +2,8 @@
 
 A city road grid suffers closures and reopenings (a dynamic stream).
 A routing service wants a *distance oracle* far smaller than the road
-graph: a spanner.  We build both Section 5 constructions —
+graph: a spanner.  We build both Section 5 constructions through the
+engine's ``spanner-distance`` capability —
 
 * Baswana–Sen emulation: k batches, stretch ≤ 2k−1;
 * RECURSECONNECT: only ~log k batches, stretch ≤ k^{log₂5}−1 —
@@ -10,13 +11,15 @@ graph: a spanner.  We build both Section 5 constructions —
 and compare their size, adaptivity (stream passes), and the actual
 detour factors they impose on sampled routes.
 
-Run:  python examples/spanner_routing.py
+Run:  python examples/spanner_routing.py [--quick]
 """
 
 from __future__ import annotations
 
-from repro import BaswanaSenSpanner, HashSource, RecurseConnectSpanner
-from repro.graphs import Graph, bfs_distances, measure_stretch
+import argparse
+
+from repro import GraphSketchEngine, SketchSpec, SpannerDistanceQuery
+from repro.graphs import Graph, measure_stretch
 from repro.streams import DynamicGraphStream, grid_graph
 
 
@@ -27,7 +30,7 @@ def build_road_stream(rows: int, cols: int) -> DynamicGraphStream:
     stream = DynamicGraphStream(n)
     for u, v in edges:
         stream.insert(u, v)
-    closures = edges[:: 7]  # every 7th segment goes under construction
+    closures = edges[::7]  # every 7th segment goes under construction
     for u, v in closures:
         stream.delete(u, v)
     for u, v in closures:
@@ -35,36 +38,36 @@ def build_road_stream(rows: int, cols: int) -> DynamicGraphStream:
     return stream
 
 
-def main() -> None:
-    rows = cols = 7
+def main(quick: bool = False) -> None:
+    rows = cols = 5 if quick else 7
     n = rows * cols
     stream = build_road_stream(rows, cols)
     graph = Graph.from_multiplicities(n, stream.multiplicities())
     print(f"road network: {n} junctions, {graph.num_edges()} segments, "
           f"{len(stream)} update tokens")
 
-    for name, builder in (
+    oracles = [
         ("Baswana-Sen k=3 (stretch ≤ 5)",
-         BaswanaSenSpanner(n, k=3, source=HashSource(21))),
+         SketchSpec.of("baswana_sen_spanner", n, seed=21, k=3)),
         ("RECURSECONNECT k=4 (stretch ≤ 24)",
-         RecurseConnectSpanner(n, k=4, source=HashSource(22))),
-    ):
-        report = builder.build(stream)
-        stretch = measure_stretch(graph, report.spanner)
+         SketchSpec.of("recurse_connect_spanner", n, seed=22, k=4)),
+    ]
+    src, dst = 0, n - 1  # opposite corners of the city
+    for name, spec in oracles:
+        engine = GraphSketchEngine.for_spec(spec).ingest(stream)
+        result = engine.query(SpannerDistanceQuery(source=src, target=dst))
+        stretch = measure_stretch(graph, result.spanner)
         print(f"\n{name}")
-        print(f"  oracle size : {report.edges}/{graph.num_edges()} segments")
-        print(f"  batches     : {report.batches} (stream passes)")
+        print(f"  oracle size : {result.edges}/{graph.num_edges()} segments")
+        print(f"  batches     : {result.batches} (stream passes)")
         print(f"  max detour  : {stretch.max_stretch:.1f}x "
-              f"(bound {report.stretch_bound:.0f}x)")
+              f"(bound {result.stretch_bound:.0f}x)")
         print(f"  mean detour : {stretch.mean_stretch:.2f}x")
-
-        # A concrete route: opposite corners of the city.
-        src, dst = 0, n - 1
-        true_d = bfs_distances(graph, src)[dst]
-        oracle_d = bfs_distances(report.spanner, src)[dst]
-        print(f"  corner-to-corner: true {true_d:.0f} hops, "
-              f"via oracle {oracle_d:.0f} hops")
+        print(f"  corner-to-corner: via oracle {result.distance:.0f} hops")
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description="spanner oracle demo")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller grid for CI")
+    main(quick=parser.parse_args().quick)

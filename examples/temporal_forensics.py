@@ -7,64 +7,72 @@ the same component at hour 3?  How much churn happened inside hour 5?
 Nobody kept the stream — but nobody needs it: checkpoints are linear
 sketches, so
 
-* the graph *state* at the end of epoch ``t`` is checkpoint ``t``
-  itself (the prefix sketch), and
+* the graph *state* at the end of epoch ``t`` is the prefix window
+  ``[0, t)``, and
 * the *activity inside* a window ``[t1, t2)`` is checkpoint ``t2``
-  minus checkpoint ``t1`` — computed by ``subtract()``, exactly.
+  minus checkpoint ``t1`` — materialised by subtraction, exactly.
 
-Run:  python examples/temporal_forensics.py
+The engine makes both one windowed ``query()``; its snapshot is the
+epoch manifest, and ``GraphSketchEngine.restore`` rebuilds a queryable
+engine from nothing but those bytes.
+
+Run:  python examples/temporal_forensics.py [--quick]
 """
 
 from __future__ import annotations
 
-import functools
+import argparse
 
-from repro.distributed import forest_sketch
-from repro.streams import churn_stream, planted_partition_graph
-from repro.temporal import EpochManager, TemporalQueryEngine
-
-EPOCHS = 6
+from repro import ConnectivityQuery, GraphSketchEngine, SketchSpec
 
 
-def main() -> None:
-    n = 30
+def main(quick: bool = False) -> None:
+    from repro.streams import churn_stream, planted_partition_graph
+
+    epochs = 4 if quick else 6
+    n = 20 if quick else 30
     # Two communities with occasional cross-links, plus heavy churn —
     # edges appear and disappear throughout the stream.
     edges = planted_partition_graph(n, p_in=0.5, p_out=0.05, seed=11)
     stream = churn_stream(n, edges, churn_fraction=0.6, seed=12)
-    print(f"service stream: {len(stream)} updates over {EPOCHS} epochs")
+    print(f"service stream: {len(stream)} updates over {epochs} epochs")
 
     # -- the service side: consume, seal, persist ---------------------------
-    factory = functools.partial(forest_sketch, n, 0xF0CA1)
-    timeline = EpochManager.consume(factory, stream, epochs=EPOCHS)
-    manifest = timeline.to_bytes()
-    print(f"persisted manifest: {timeline.epochs} checkpoints, "
+    service = (GraphSketchEngine
+               .for_spec(SketchSpec.of("spanning_forest", n, seed=0xF0CA1))
+               .epochs(count=epochs)
+               .ingest(stream))
+    manifest = service.snapshot()
+    print(f"persisted manifest: {service.epochs_sealed} checkpoints, "
           f"{len(manifest)} bytes (the stream itself is now gone)\n")
 
-    # -- the investigator side: load and interrogate ------------------------
-    engine = TemporalQueryEngine.from_manifest(manifest)
+    # -- the investigator side: restore and interrogate ----------------------
+    engine = GraphSketchEngine.restore(manifest)
 
     u, v = 0, n - 1  # one account from each community
-    for epoch in range(1, EPOCHS + 1):
-        connected = engine.was_connected(u, v, through_epoch=epoch)
-        state = engine.answer(0, epoch)
+    for epoch in range(1, epochs + 1):
+        state = engine.query(ConnectivityQuery(u=u, v=v, window=(0, epoch)))
         print(f"end of epoch {epoch}: accounts {u} and {v} "
-              f"{'WERE' if connected else 'were NOT'} connected "
-              f"({state['components']} components)")
+              f"{'WERE' if state.same_component else 'were NOT'} connected "
+              f"({state.components} components)")
 
     # Activity *inside* epoch 3 alone: subtraction of two checkpoints.
-    inside = engine.answer(2, 3)
-    print(f"\nnet churn inside epoch 3: {inside['forest_edges']} forest "
-          f"edges over {engine.window_tokens(2, 3)} updates")
+    inside = engine.query(ConnectivityQuery(window=(2, 3)))
+    print(f"\nnet churn inside epoch 3: {inside.forest_edges} forest "
+          f"edges over {engine.window_tokens(2, 3)} updates "
+          f"({inside.telemetry.payload_bytes} checkpoint bytes loaded)")
 
     # Sliding window over the second half of the history.
-    half = EPOCHS // 2
-    window = engine.answer(half, EPOCHS)
-    print(f"window [{half}, {EPOCHS}): {window['components']} components "
+    half = epochs // 2
+    window = engine.query(ConnectivityQuery(window=(half, epochs)))
+    print(f"window [{half}, {epochs}): {window.components} components "
           f"in the net-activity graph "
-          f"({engine.window_tokens(half, EPOCHS)} updates, materialised "
+          f"({engine.window_tokens(half, epochs)} updates, materialised "
           f"without replay)")
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description="temporal forensics demo")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workload for CI")
+    main(quick=parser.parse_args().quick)

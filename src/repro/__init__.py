@@ -9,33 +9,72 @@ A from-scratch reproduction of
 The package provides linear sketches of graphs — collections of linear
 measurements of the edge-multiplicity vector — supporting single-pass
 processing of dynamic graph streams (edge insertions *and* deletions),
-mergeable sketches for distributed streams, and adaptive multi-batch
-schemes:
+mergeable sketches for distributed streams, temporal epoch checkpoints,
+and adaptive multi-batch schemes.
 
-* :class:`~repro.core.mincut.MinCutSketch` — (1+ε) minimum cut (Fig. 1);
-* :class:`~repro.core.sparsify_simple.SimpleSparsification` — cut
-  sparsifier via per-level connectivity witnesses (Fig. 2);
-* :class:`~repro.core.sparsify.Sparsification` — the space-efficient
-  sparsifier via Gomory–Hu + k-RECOVERY (Fig. 3);
-* :class:`~repro.core.weighted.WeightedSparsification` — weighted
-  graphs by dyadic weight classes (Section 3.5);
-* :class:`~repro.core.subgraph_count.SubgraphSketch` — induced-subgraph
-  frequencies γ_H (Section 4);
-* :class:`~repro.core.spanner_bs.BaswanaSenSpanner` and
-  :class:`~repro.core.spanner_recurse.RecurseConnectSpanner` — adaptive
-  spanner constructions (Section 5).
+**Public API.**  The supported entry point is :mod:`repro.api`,
+re-exported here: declare a sketch with :class:`SketchSpec`, deploy it
+with the fluent :class:`GraphSketchEngine` builder (local →
+``.sharded(sites=K)`` → ``.epochs(...)``, all on the same spec), ingest
+with ``ingest``/``ingest_batch``/``seal_epoch``, and ask typed
+questions through one ``query()`` dispatch backed by the capability
+registry::
 
-Substrates — ℓ₀ samplers, k-sparse recovery, hashing (including Nisan's
-PRG for the Section 3.4 derandomisation), the dynamic-stream model, and
-exact graph algorithms used for post-processing and verification — live
+    from repro import GraphSketchEngine, SketchSpec, MinCutQuery
+
+    spec = SketchSpec.of("mincut", n=64, seed=7)
+    engine = GraphSketchEngine.for_spec(spec).sharded(sites=4).ingest(stream)
+    print(engine.query(MinCutQuery()).value)
+
+The sketch classes themselves (:class:`MinCutSketch`,
+:class:`SimpleSparsification`, ...) remain importable for direct use
+and post-processing; their per-class ``consume`` entry points, the
+``sharded_consume`` helper, and direct ``TemporalQueryEngine``
+construction are deprecated shims over the engine (see
+``docs/MIGRATION.md``).  Substrates — ℓ₀ samplers, k-sparse recovery,
+hashing, the dynamic-stream model, and exact graph algorithms — live
 in :mod:`repro.sketch`, :mod:`repro.hashing`, :mod:`repro.streams` and
-:mod:`repro.graphs`.  See DESIGN.md for the full inventory and
-EXPERIMENTS.md for the claim-by-claim reproduction record.
+:mod:`repro.graphs`.
 """
 
+from .api import (
+    CAPABILITIES,
+    CapabilityEntry,
+    ConnectivityQuery,
+    ConnectivityResult,
+    CutQuery,
+    CutQueryResult,
+    GraphSketchEngine,
+    KEdgeConnectivityQuery,
+    KEdgeConnectivityResult,
+    MinCutQuery,
+    MinCutQueryResult,
+    PropertiesQuery,
+    PropertiesResult,
+    Query,
+    QueryResult,
+    QueryTelemetry,
+    SketchSpec,
+    SpannerDistanceQuery,
+    SpannerDistanceResult,
+    SparsifierQuery,
+    SparsifierResult,
+    SubgraphCountQuery,
+    SubgraphCountResult,
+    build_sketch,
+    capability_entry,
+    capability_of,
+    kind_of_sketch,
+    register_capability,
+    registered_kinds,
+)
 from .core import (
     BaswanaSenSpanner,
+    BipartitenessSketch,
+    CutEdgesSketch,
+    EdgeConnectivitySketch,
     MinCutSketch,
+    MSTWeightSketch,
     RecurseConnectSpanner,
     SimpleSparsification,
     Sparsification,
@@ -43,22 +82,80 @@ from .core import (
     SubgraphSketch,
     WeightedSparsification,
 )
+from .errors import (
+    AdaptivityError,
+    GraphError,
+    NotSupportedError,
+    RecoveryFailed,
+    ReproError,
+    SamplerFailed,
+    SketchCompatibilityError,
+    SketchFailure,
+    StreamError,
+)
 from .hashing import HashSource
-from .streams import DynamicGraphStream, EdgeUpdate
+from .streams import DynamicGraphStream, EdgeUpdate, StreamBatch
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # -- engine API (repro.api) -----------------------------------------------
+    "CAPABILITIES",
+    "CapabilityEntry",
+    "ConnectivityQuery",
+    "ConnectivityResult",
+    "CutQuery",
+    "CutQueryResult",
+    "GraphSketchEngine",
+    "KEdgeConnectivityQuery",
+    "KEdgeConnectivityResult",
+    "MinCutQuery",
+    "MinCutQueryResult",
+    "PropertiesQuery",
+    "PropertiesResult",
+    "Query",
+    "QueryResult",
+    "QueryTelemetry",
+    "SketchSpec",
+    "SpannerDistanceQuery",
+    "SpannerDistanceResult",
+    "SparsifierQuery",
+    "SparsifierResult",
+    "SubgraphCountQuery",
+    "SubgraphCountResult",
+    "build_sketch",
+    "capability_entry",
+    "capability_of",
+    "kind_of_sketch",
+    "register_capability",
+    "registered_kinds",
+    # -- sketch classes ---------------------------------------------------------
     "BaswanaSenSpanner",
-    "DynamicGraphStream",
-    "EdgeUpdate",
-    "HashSource",
+    "BipartitenessSketch",
+    "CutEdgesSketch",
+    "EdgeConnectivitySketch",
     "MinCutSketch",
+    "MSTWeightSketch",
     "RecurseConnectSpanner",
     "SimpleSparsification",
     "Sparsification",
     "SpanningForestSketch",
     "SubgraphSketch",
     "WeightedSparsification",
+    # -- exception hierarchy ----------------------------------------------------
+    "AdaptivityError",
+    "GraphError",
+    "NotSupportedError",
+    "RecoveryFailed",
+    "ReproError",
+    "SamplerFailed",
+    "SketchCompatibilityError",
+    "SketchFailure",
+    "StreamError",
+    # -- stream model -----------------------------------------------------------
+    "DynamicGraphStream",
+    "EdgeUpdate",
+    "HashSource",
+    "StreamBatch",
     "__version__",
 ]

@@ -1,0 +1,26 @@
+"""Deprecation plumbing for the pre-engine entry points.
+
+The legacy surfaces (``sharded_consume``, direct
+``TemporalQueryEngine`` construction, per-class ``consume``) keep
+working as thin shims, but each emits a :class:`DeprecationWarning`
+pointing at its :class:`~repro.api.GraphSketchEngine` equivalent (the
+full mapping lives in ``docs/MIGRATION.md``).  CI promotes these
+warnings to errors inside ``src/repro/api`` and the ``test_api_*``
+suites, so the new surface can never quietly re-grow a dependency on
+the old one.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_deprecated"]
+
+
+def warn_deprecated(old: str, new: str, stacklevel: int = 3) -> None:
+    """Emit the standard migration warning for a legacy entry point."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead (see docs/MIGRATION.md)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

@@ -1,0 +1,275 @@
+"""Typed queries and results for :class:`~repro.api.GraphSketchEngine`.
+
+One frozen dataclass per query the capability registry knows about,
+plus one frozen dataclass per result.  Every result carries a
+:class:`QueryTelemetry` — wall-clock seconds and the serialised payload
+bytes that had to be loaded to answer (for a temporal window: the
+checkpoint blobs; zero when the answer came straight off live sketch
+state) — so the paper's space/accuracy trade-offs are first-class in
+the API rather than something a caller reconstructs from logs.
+
+Queries map to capability names (the vocabulary the registry sketch
+classes declare in their ``CAPABILITIES`` attribute) via
+:func:`capability_of`; an engine whose sketch kind does not declare a
+query's capability raises :class:`~repro.errors.NotSupportedError`
+instead of guessing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import NotSupportedError
+
+__all__ = [
+    "CAPABILITIES",
+    "ConnectivityQuery",
+    "ConnectivityResult",
+    "CutQuery",
+    "CutQueryResult",
+    "KEdgeConnectivityQuery",
+    "KEdgeConnectivityResult",
+    "MinCutQuery",
+    "MinCutQueryResult",
+    "PropertiesQuery",
+    "PropertiesResult",
+    "Query",
+    "QueryResult",
+    "QueryTelemetry",
+    "SpannerDistanceQuery",
+    "SpannerDistanceResult",
+    "SparsifierQuery",
+    "SparsifierResult",
+    "SubgraphCountQuery",
+    "SubgraphCountResult",
+    "capability_of",
+]
+
+#: The full capability vocabulary a registry sketch class may declare.
+CAPABILITIES = (
+    "connectivity",
+    "k-edge-connectivity",
+    "mincut",
+    "cut-query",
+    "sparsifier",
+    "spanner-distance",
+    "subgraph-count",
+    "properties",
+)
+
+
+# -- queries -------------------------------------------------------------------
+
+
+@dataclass(frozen=True, kw_only=True)
+class Query:
+    """Base class of every engine query.
+
+    ``window`` addresses an epoch window ``[t1, t2)`` on a temporal
+    engine (``None`` means the full sealed prefix); non-temporal
+    engines refuse windowed queries.
+    """
+
+    window: tuple[int, int] | None = None
+
+
+@dataclass(frozen=True)
+class ConnectivityQuery(Query):
+    """Connected components; optionally "are ``u`` and ``v`` connected?"."""
+
+    u: int | None = None
+    v: int | None = None
+
+
+@dataclass(frozen=True)
+class KEdgeConnectivityQuery(Query):
+    """Is the graph k-edge-connected (k fixed by the sketch)?"""
+
+
+@dataclass(frozen=True)
+class MinCutQuery(Query):
+    """(1+ε) global minimum cut estimate (paper Fig. 1)."""
+
+
+@dataclass(frozen=True)
+class CutQuery(Query):
+    """List the exact edges crossing ``(side, V - side)``."""
+
+    side: frozenset[int] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.side, frozenset):
+            object.__setattr__(self, "side", frozenset(self.side))
+        if not self.side:
+            raise ValueError("CutQuery needs a non-empty node set `side`")
+
+
+@dataclass(frozen=True)
+class SparsifierQuery(Query):
+    """Extract the cut sparsifier (paper Figs. 2/3, §3.5)."""
+
+
+@dataclass(frozen=True)
+class SpannerDistanceQuery(Query):
+    """Build the spanner; optionally a source→target distance through it."""
+
+    source: int | None = None
+    target: int | None = None
+
+
+@dataclass(frozen=True)
+class SubgraphCountQuery(Query):
+    """γ_H frequency of an order-k pattern (paper §4).
+
+    ``pattern`` is a :class:`~repro.core.patterns.Pattern` or the name
+    of a built-in one (``"triangle"``, ``"path3"``...).
+    """
+
+    pattern: Any = "triangle"
+
+
+@dataclass(frozen=True)
+class PropertiesQuery(Query):
+    """The sketch class's canonical scalar properties (bipartiteness,
+    MST weight...), keyed by property name."""
+
+
+#: Query type → the capability name a sketch class must declare.
+_CAPABILITY_OF_QUERY: dict[type, str] = {
+    ConnectivityQuery: "connectivity",
+    KEdgeConnectivityQuery: "k-edge-connectivity",
+    MinCutQuery: "mincut",
+    CutQuery: "cut-query",
+    SparsifierQuery: "sparsifier",
+    SpannerDistanceQuery: "spanner-distance",
+    SubgraphCountQuery: "subgraph-count",
+    PropertiesQuery: "properties",
+}
+
+
+def capability_of(query: Query) -> str:
+    """The capability name a sketch must declare to answer ``query``."""
+    cap = _CAPABILITY_OF_QUERY.get(type(query))
+    if cap is None:
+        raise NotSupportedError(
+            f"{type(query).__name__} is not a registered query type; "
+            f"known: {', '.join(c.__name__ for c in _CAPABILITY_OF_QUERY)}"
+        )
+    return cap
+
+
+# -- results -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryTelemetry:
+    """Per-query cost accounting.
+
+    Attributes
+    ----------
+    seconds:
+        Wall-clock time spent answering, dispatch included.
+    payload_bytes:
+        Serialised sketch bytes loaded to materialise the answer — the
+        checkpoint blobs of a temporal window, zero for answers straight
+        off live sketch state.
+    """
+
+    seconds: float
+    payload_bytes: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class QueryResult:
+    """Base class of every engine answer.
+
+    Attributes
+    ----------
+    kind:
+        Registry kind of the sketch that answered.
+    capability:
+        The capability that dispatched.
+    window:
+        The epoch window the answer describes (``None``: live state /
+        the full prefix).
+    telemetry:
+        Time and payload-byte accounting for this query.
+    """
+
+    kind: str
+    capability: str
+    window: tuple[int, int] | None = None
+    telemetry: QueryTelemetry = field(
+        default_factory=lambda: QueryTelemetry(0.0, 0)
+    )
+
+
+@dataclass(frozen=True, kw_only=True)
+class ConnectivityResult(QueryResult):
+    connected: bool
+    components: int
+    forest_edges: int
+    #: Whether the queried ``(u, v)`` pair shares a component (``None``
+    #: when the query named no pair).
+    same_component: bool | None = None
+
+
+@dataclass(frozen=True, kw_only=True)
+class KEdgeConnectivityResult(QueryResult):
+    k: int
+    witness_edges: int
+    is_k_connected: bool
+
+
+@dataclass(frozen=True, kw_only=True)
+class MinCutQueryResult(QueryResult):
+    value: float
+    stop_level: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class CutQueryResult(QueryResult):
+    #: ``(u, v, multiplicity)`` triples crossing the cut, sorted.
+    crossing_edges: tuple[tuple[int, int, int], ...]
+    cut_value: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class SparsifierResult(QueryResult):
+    edges: int
+    epsilon: float
+    #: The full :class:`~repro.core.sparsifier.Sparsifier` (graph,
+    #: per-edge levels, provenance) for downstream cut evaluation.
+    sparsifier: Any
+
+
+@dataclass(frozen=True, kw_only=True)
+class SpannerDistanceResult(QueryResult):
+    edges: int
+    batches: int
+    stretch_bound: float
+    shipped_bytes: int
+    #: BFS distance source→target through the spanner (``None`` when
+    #: the query named no pair; ``inf`` when disconnected).
+    distance: float | None = None
+    #: The spanner :class:`~repro.graphs.Graph` itself.
+    spanner: Any = None
+
+
+@dataclass(frozen=True, kw_only=True)
+class SubgraphCountResult(QueryResult):
+    pattern: str
+    gamma: float
+    samples_used: int
+    samples_failed: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class PropertiesResult(QueryResult):
+    #: Scalar properties keyed by name (``bipartite``, ``mst_weight``...).
+    values: Mapping[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.values[key]

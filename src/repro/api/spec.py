@@ -1,0 +1,103 @@
+"""Declarative sketch specifications.
+
+A :class:`SketchSpec` is everything needed to build an
+identically-seeded sketch anywhere — this process, a worker process, a
+remote site: the registry ``kind``, the node universe ``n``, the master
+``seed``, and the (kind-specific) constructor parameters.  Specs are
+frozen, hashable, and picklable, which is what lets one spec drive all
+three deployment modes of :class:`~repro.api.GraphSketchEngine`: the
+sharded runner ships ``functools.partial(build_sketch, spec)`` to its
+sites, and linearity demands every site build the *same* measurement
+matrix — the spec is that guarantee made explicit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, replace
+from typing import Any
+
+__all__ = ["SketchSpec", "build_sketch"]
+
+
+@dataclass(frozen=True)
+class SketchSpec:
+    """A declarative recipe for one sketch instance.
+
+    Attributes
+    ----------
+    kind:
+        Capability-registry kind name (``"spanning_forest"``,
+        ``"mincut"``, ...; see :func:`repro.api.registered_kinds`).
+    n:
+        Node universe size.
+    seed:
+        Master hash seed; two sketches built from equal specs are
+        identically seeded and therefore mergeable/subtractable.
+    params:
+        Kind-specific constructor parameters, stored as a sorted tuple
+        of ``(name, value)`` pairs so the spec stays hashable; pass a
+        dict (or use :meth:`of`) and it is normalised.
+    """
+
+    kind: str
+    n: int
+    seed: int = 0
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        params = self.params
+        if isinstance(params, Mapping):
+            pairs = params.items()
+        else:
+            pairs = tuple(params)
+        object.__setattr__(
+            self, "params",
+            tuple(sorted((str(k), v) for k, v in pairs)),
+        )
+
+    @classmethod
+    def of(cls, kind: str, n: int, seed: int = 0, **params: Any) -> "SketchSpec":
+        """Build a spec with keyword constructor parameters."""
+        return cls(kind, n, seed, tuple(params.items()))
+
+    def param_dict(self) -> dict[str, Any]:
+        """The constructor parameters as a plain dict."""
+        return dict(self.params)
+
+    def with_params(self, **params: Any) -> "SketchSpec":
+        """A copy with extra/overridden constructor parameters."""
+        merged = {**self.param_dict(), **params}
+        return replace(self, params=tuple(merged.items()))
+
+    def with_seed(self, seed: int) -> "SketchSpec":
+        """A copy with a different master seed (same measurement shape)."""
+        return replace(self, seed=seed)
+
+    @property
+    def capabilities(self) -> frozenset[str]:
+        """Queries the spec's sketch class declares it can answer."""
+        from .capabilities import capability_entry
+
+        return capability_entry(self.kind).queries
+
+    def build(self) -> Any:
+        """Construct the fresh, empty, seeded sketch the spec describes."""
+        from .capabilities import capability_entry
+        from ..hashing import HashSource
+
+        entry = capability_entry(self.kind)
+        try:
+            return entry.cls(
+                self.n, source=HashSource(self.seed), **self.param_dict()
+            )
+        except TypeError as err:
+            raise ValueError(
+                f"cannot build a {self.kind!r} sketch from spec params "
+                f"{self.param_dict()!r}: {err}"
+            ) from None
+
+
+def build_sketch(spec: SketchSpec) -> Any:
+    """Module-level spec factory (picklable for ``mode="process"`` sites)."""
+    return spec.build()

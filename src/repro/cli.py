@@ -5,21 +5,23 @@ Sub-commands:
 * ``list`` — show the experiment registry and workloads;
 * ``run <id> [--full] [--seed N]`` — run one experiment (e1–e12) and
   print its table (``all`` runs every experiment);
-* ``demo`` — a 30-second end-to-end tour: build a churny stream,
-  sketch it, report min cut, sparsifier quality, triangle frequency,
-  and a spanner;
+* ``demo`` — a 30-second end-to-end tour: build a churny stream and
+  answer min-cut / sparsifier / triangle / spanner queries through one
+  :class:`~repro.api.GraphSketchEngine` per spec;
 * ``distribute --sites K`` — the Section 1.1 multi-site deployment:
-  partition a stream across K sites, consume locally, ship serialised
-  sketches to a coordinator, and answer connectivity / min-cut /
-  sparsifier-cut / spanner-distance queries from the merged sketches;
-* ``epochs --epochs E`` — temporal checkpointing: consume a stream in
-  E epochs, seal immutable cumulative checkpoints, optionally write the
-  manifest to a file (and, with ``--sites K``, checkpoint per-site and
-  merge across sites);
-* ``window-query --from T1 --to T2`` — materialise the epoch window
-  [T1, T2) by checkpoint subtraction (from ``--manifest FILE`` or a
-  freshly built demo timeline) and answer through the sketch's query
-  surface.
+  the same specs, deployed with ``.sharded(sites=K)`` — partition,
+  consume locally, ship serialised sketches, merge, answer;
+* ``epochs --epochs E`` — temporal checkpointing: the same spec with
+  ``.epochs(...)``, sealing immutable cumulative checkpoints
+  (optionally per-site with ``--sites K``), manifest written with
+  ``--out``;
+* ``window-query --from T1 --to T2`` — restore an engine from a
+  manifest (or build a demo timeline) and answer the epoch window
+  [T1, T2) by checkpoint subtraction.
+
+All four demo-flavoured subcommands share one workload/spec helper
+(:func:`_demo_setup`): the point of the engine API is that *the same
+spec* drives every deployment mode.
 """
 
 from __future__ import annotations
@@ -65,71 +67,90 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_demo(args: argparse.Namespace) -> int:
-    from .core import (
-        TRIANGLE,
-        BaswanaSenSpanner,
-        MinCutSketch,
-        SimpleSparsification,
-        SubgraphSketch,
-        cut_approximation_report,
-        encoding_class,
-    )
-    from .graphs import Graph, gamma_exact, global_min_cut_value, measure_stretch
-    from .hashing import HashSource
+def _demo_setup(seed: int):
+    """The shared demo workload and engine specs of every subcommand.
+
+    One planted-partition churn stream plus one :class:`~repro.api.
+    SketchSpec` per demo sketch — ``demo`` runs them locally,
+    ``distribute`` shards the *same* specs, ``epochs``/``window-query``
+    checkpoint them; nothing but the fluent deployment chain differs.
+    """
+    from .api import SketchSpec
+    from .graphs import Graph
     from .streams import churn_stream, planted_partition_graph
 
-    seed = args.seed
     n = 36
     edges = planted_partition_graph(n, 0.6, 0.12, seed=seed)
     graph = Graph.from_edges(n, edges)
     stream = churn_stream(n, edges, seed=seed + 1)
-    print(f"workload: planted partition, n={n}, m={graph.num_edges()}, "
+    specs = {
+        "forest": SketchSpec.of("spanning_forest", n, seed=seed + 2),
+        "mincut": SketchSpec.of("mincut", n, seed=seed + 3, epsilon=0.5),
+        "sparsifier": SketchSpec.of(
+            "simple_sparsification", n, seed=seed + 4, epsilon=0.5, c_k=0.3
+        ),
+        "subgraph": SketchSpec.of(
+            "subgraph_count", n, seed=seed + 5, order=3, samplers=96
+        ),
+        "spanner": SketchSpec.of("baswana_sen_spanner", n, seed=seed + 6, k=2),
+    }
+    return graph, stream, specs
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .api import (
+        GraphSketchEngine,
+        MinCutQuery,
+        SpannerDistanceQuery,
+        SparsifierQuery,
+        SubgraphCountQuery,
+    )
+    from .core import TRIANGLE, cut_approximation_report, encoding_class
+    from .graphs import gamma_exact, global_min_cut_value, measure_stretch
+
+    seed = args.seed
+    graph, stream, specs = _demo_setup(seed)
+    print(f"workload: planted partition, n={stream.n}, m={graph.num_edges()}, "
           f"{len(stream)} stream tokens (with deletions)")
 
-    mc = MinCutSketch(n, epsilon=0.5, source=HashSource(seed + 2)).consume(stream)
-    res = mc.estimate()
+    mc = GraphSketchEngine.for_spec(specs["mincut"]).ingest(stream)
+    res = mc.query(MinCutQuery())
     print(f"min cut: sketch={res.value} exact={global_min_cut_value(graph)} "
           f"(stop level {res.stop_level})")
 
-    sp = SimpleSparsification(
-        n, epsilon=0.5, source=HashSource(seed + 3), c_k=0.3
-    ).consume(stream)
-    s = sp.sparsifier()
-    rep = cut_approximation_report(graph, s, sample_cuts=200, seed=seed)
-    print(f"sparsifier: {s.num_edges}/{graph.num_edges()} edges, "
+    sp = GraphSketchEngine.for_spec(specs["sparsifier"]).ingest(stream)
+    sparse = sp.query(SparsifierQuery())
+    rep = cut_approximation_report(
+        graph, sparse.sparsifier, sample_cuts=200, seed=seed
+    )
+    print(f"sparsifier: {sparse.edges}/{graph.num_edges()} edges, "
           f"max cut error {rep.max_relative_error:.3f}")
 
-    sub = SubgraphSketch(
-        n, order=3, samplers=96, source=HashSource(seed + 4)
-    ).consume(stream)
-    est = sub.estimate(TRIANGLE)
-    print(f"triangles: γ sketch={est.gamma:.4f} "
+    sub = GraphSketchEngine.for_spec(specs["subgraph"]).ingest(stream)
+    tri = sub.query(SubgraphCountQuery("triangle"))
+    print(f"triangles: γ sketch={tri.gamma:.4f} "
           f"exact={gamma_exact(graph, encoding_class(TRIANGLE), 3):.4f}")
 
-    span = BaswanaSenSpanner(n, k=2, source=HashSource(seed + 5)).build(stream)
-    sr = measure_stretch(graph, span.spanner)
-    print(f"spanner (k=2): {span.edges} edges, max stretch {sr.max_stretch} "
-          f"(bound 3), batches {span.batches}")
+    span = GraphSketchEngine.for_spec(specs["spanner"]).ingest(stream)
+    sd = span.query(SpannerDistanceQuery())
+    sr = measure_stretch(graph, sd.spanner)
+    print(f"spanner (k=2): {sd.edges} edges, max stretch {sr.max_stretch} "
+          f"(bound {sd.stretch_bound:.0f}), batches {sd.batches}")
     return 0
 
 
 def _cmd_distribute(args: argparse.Namespace) -> int:
     """Simulate the Section 1.1 multi-site deployment end to end."""
-    import functools
-
-    from .core import BaswanaSenSpanner
-    from .distributed import (
-        PARTITION_STRATEGIES,
-        ShardedSketchRunner,
-        forest_sketch,
-        mincut_sketch,
-        partition_stream,
-        sparsifier_sketch,
+    from .api import (
+        ConnectivityQuery,
+        GraphSketchEngine,
+        MinCutQuery,
+        SpannerDistanceQuery,
+        SparsifierQuery,
     )
-    from .graphs import Graph, global_min_cut_value, measure_stretch
-    from .hashing import HashSource
-    from .streams import churn_stream, planted_partition_graph
+    from .core import cut_approximation_report
+    from .distributed import PARTITION_STRATEGIES
+    from .graphs import global_min_cut_value, measure_stretch
 
     if args.sites < 1:
         print("error: --sites must be >= 1", file=sys.stderr)
@@ -143,12 +164,9 @@ def _cmd_distribute(args: argparse.Namespace) -> int:
         return 2
 
     seed = args.seed
-    n = 36
-    edges = planted_partition_graph(n, 0.6, 0.12, seed=seed)
-    graph = Graph.from_edges(n, edges)
-    stream = churn_stream(n, edges, seed=seed + 1)
+    graph, stream, specs = _demo_setup(seed)
     print(
-        f"workload: planted partition, n={n}, m={graph.num_edges()}, "
+        f"workload: planted partition, n={stream.n}, m={graph.num_edges()}, "
         f"{len(stream)} tokens → {args.sites} site(s), "
         f"strategy={args.strategy}, mode={args.mode}"
     )
@@ -156,59 +174,45 @@ def _cmd_distribute(args: argparse.Namespace) -> int:
     stream_bytes = 24 * len(stream) // args.sites
     print(f"shipping the raw stream would cost ~{stream_bytes} bytes per site")
 
-    runners = [
-        ("connectivity (forest)", functools.partial(forest_sketch, n, seed + 2),
-         lambda sk: f"components={len(sk.connected_components())}"),
-        ("min cut", functools.partial(mincut_sketch, n, seed + 3),
-         lambda sk: f"estimate={sk.estimate().value} "
-                    f"exact={global_min_cut_value(graph)}"),
-        ("sparsifier", functools.partial(sparsifier_sketch, n, seed + 4),
-         lambda sk: _sparsifier_answer(sk, graph, seed)),
-    ]
-    for name, factory, answer in runners:
-        runner = ShardedSketchRunner(
-            factory, sites=args.sites, strategy=args.strategy,
-            mode=args.mode, seed=seed,
+    def deploy(spec):
+        return (GraphSketchEngine.for_spec(spec)
+                .sharded(sites=args.sites, strategy=args.strategy, seed=seed)
+                .workers(mode=args.mode)
+                .ingest(stream))
+
+    def sparsifier_answer(result):
+        rep = cut_approximation_report(
+            graph, result.sparsifier, sample_cuts=200, seed=seed
         )
-        report = runner.run(stream)
+        return (f"{result.edges}/{graph.num_edges()} edges, "
+                f"max cut error {rep.max_relative_error:.3f}")
+
+    runs = [
+        ("connectivity (forest)", specs["forest"], ConnectivityQuery(),
+         lambda r: f"components={r.components}"),
+        ("min cut", specs["mincut"], MinCutQuery(),
+         lambda r: f"estimate={r.value} exact={global_min_cut_value(graph)}"),
+        ("sparsifier", specs["sparsifier"], SparsifierQuery(),
+         sparsifier_answer),
+    ]
+    for name, spec, query, fmt in runs:
+        engine = deploy(spec)
+        report = engine.last_report
         per_site = ", ".join(str(s.payload_bytes) for s in report.sites)
-        print(f"{name}: {answer(report.sketch)}")
+        print(f"{name}: {fmt(engine.query(query))}")
         print(
             f"  bytes/site [{per_site}]  total={report.total_payload_bytes}  "
             f"wall={report.wall_seconds:.2f}s"
         )
 
-    shards = partition_stream(stream, args.sites, args.strategy, seed)
-    span = BaswanaSenSpanner(n, k=2, source=HashSource(seed + 5))
-    rep = span.build_sharded(shards)
-    sr = measure_stretch(graph, rep.spanner)
+    span = deploy(specs["spanner"]).query(SpannerDistanceQuery())
+    sr = measure_stretch(graph, span.spanner)
     print(
-        f"spanner distances (k=2): {rep.edges} edges, max stretch "
-        f"{sr.max_stretch} (bound {rep.stretch_bound}), "
-        f"{rep.batches} adaptive rounds, {rep.shipped_bytes} bytes shipped"
+        f"spanner distances (k=2): {span.edges} edges, max stretch "
+        f"{sr.max_stretch} (bound {span.stretch_bound:.0f}), "
+        f"{span.batches} adaptive rounds, {span.shipped_bytes} bytes shipped"
     )
     return 0
-
-
-def _sparsifier_answer(sk, graph, seed: int) -> str:
-    from .core import cut_approximation_report
-
-    sp = sk.sparsifier()
-    rep = cut_approximation_report(graph, sp, sample_cuts=200, seed=seed)
-    return (
-        f"{sp.num_edges}/{graph.num_edges()} edges, "
-        f"max cut error {rep.max_relative_error:.3f}"
-    )
-
-
-def _demo_workload(seed: int):
-    """The shared demo workload (graph, stream) used by epochs/window-query."""
-    from .graphs import Graph
-    from .streams import churn_stream, planted_partition_graph
-
-    n = 36
-    edges = planted_partition_graph(n, 0.6, 0.12, seed=seed)
-    return Graph.from_edges(n, edges), churn_stream(n, edges, seed=seed + 1)
 
 
 def _parse_boundaries(spec: str) -> list[int]:
@@ -227,11 +231,9 @@ def _parse_boundaries(spec: str) -> list[int]:
 
 def _cmd_epochs(args: argparse.Namespace) -> int:
     """Seal per-epoch checkpoints of the demo stream (optionally sharded)."""
-    import functools
     import pathlib
 
-    from .distributed import ShardedSketchRunner, forest_sketch
-    from .temporal import EpochManager
+    from .api import GraphSketchEngine
 
     if args.epochs < 1:
         print("error: --epochs must be >= 1", file=sys.stderr)
@@ -240,7 +242,7 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
         print("error: --sites must be >= 1", file=sys.stderr)
         return 2
     seed = args.seed
-    graph, stream = _demo_workload(seed)
+    graph, stream, specs = _demo_setup(seed)
     # Validate the epoch grid up front: a decreasing or short grid must
     # exit 2 with a clear message, not a traceback from deep inside the
     # epoch manager (the `cli run <bad-id>` contract).
@@ -256,34 +258,31 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
             print(f"error: {err}", file=sys.stderr)
             return 2
         epochs = None
-    factory = functools.partial(forest_sketch, stream.n, seed + 2)
     grid = (f"{len(boundaries)} explicit epochs" if boundaries is not None
             else f"{epochs} epochs")
     print(
         f"workload: planted partition, n={stream.n}, m={graph.num_edges()}, "
         f"{len(stream)} tokens → {grid}"
     )
+    engine = GraphSketchEngine.for_spec(specs["forest"])
     if args.sites > 1:
-        report = ShardedSketchRunner(
-            factory, sites=args.sites, seed=seed
-        ).run_epochs(stream, epochs=epochs, boundaries=boundaries)
-        timeline = report.timeline
+        engine.sharded(sites=args.sites, seed=seed)
+    engine.epochs(count=epochs, boundaries=boundaries).ingest(stream)
+    if args.sites > 1:
+        report = engine.last_report
         print(
             f"sharded across {args.sites} sites: "
             f"{report.total_payload_bytes} checkpoint bytes shipped, "
             f"wall={report.wall_seconds:.2f}s"
         )
-    else:
-        timeline = EpochManager.consume(
-            factory, stream, epochs=epochs, boundaries=boundaries
-        )
+    timeline = engine.timeline
     print("epoch  tokens  cumulative  checkpoint-bytes")
     for chk in timeline.checkpoints:
         print(
             f"{chk.epoch:>5}  {chk.tokens:>6}  {chk.cumulative_tokens:>10}  "
             f"{len(chk.payload):>16}"
         )
-    manifest = timeline.to_bytes()
+    manifest = engine.snapshot()
     print(
         f"manifest: {timeline.epochs} epochs, {len(manifest)} bytes "
         f"({timeline.total_payload_bytes} raw checkpoint bytes)"
@@ -294,13 +293,56 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _window_queries(engine, window):
+    """Canonical windowed queries for the engine's declared capabilities."""
+    from .api import (
+        ConnectivityQuery,
+        CutQuery,
+        KEdgeConnectivityQuery,
+        MinCutQuery,
+        PropertiesQuery,
+        SparsifierQuery,
+        SubgraphCountQuery,
+    )
+
+    canonical = {
+        "connectivity": ConnectivityQuery(window=window),
+        "k-edge-connectivity": KEdgeConnectivityQuery(window=window),
+        "mincut": MinCutQuery(window=window),
+        "cut-query": CutQuery(side=frozenset({0}), window=window),
+        "sparsifier": SparsifierQuery(window=window),
+        "subgraph-count": SubgraphCountQuery("triangle", window=window),
+        "properties": PropertiesQuery(window=window),
+    }
+    return [
+        query for cap, query in canonical.items()
+        if cap in engine.capabilities
+    ]
+
+
+def _print_result(result) -> None:
+    """Render the data fields of a typed query result, one per line."""
+    import dataclasses
+
+    skip = {"kind", "capability", "window", "telemetry", "sparsifier", "spanner"}
+    for field in dataclasses.fields(result):
+        if field.name in skip:
+            continue
+        value = getattr(result, field.name)
+        if isinstance(value, dict):
+            for key, val in value.items():
+                print(f"  {key}: {val}")
+        elif isinstance(value, tuple) and len(value) > 6:
+            print(f"  {field.name}: {len(value)} entries")
+        elif value is not None:
+            print(f"  {field.name}: {value}")
+
+
 def _cmd_window_query(args: argparse.Namespace) -> int:
     """Materialise [t1, t2) by checkpoint subtraction and answer it."""
-    import functools
     import pathlib
 
-    from .distributed import forest_sketch
-    from .temporal import EpochManager, TemporalQueryEngine
+    from .api import GraphSketchEngine
 
     seed = args.seed
     if args.epochs < 1:
@@ -309,35 +351,40 @@ def _cmd_window_query(args: argparse.Namespace) -> int:
     if args.manifest:
         data = pathlib.Path(args.manifest).read_bytes()
         try:
-            engine = TemporalQueryEngine.from_manifest(data)
+            engine = GraphSketchEngine.restore(data)
         except ValueError as err:
             print(f"error: cannot load manifest: {err}", file=sys.stderr)
             return 2
         print(
-            f"manifest: {engine.epochs} epochs of "
-            f"{engine.timeline.sketch_kind}"
+            f"manifest: {engine.epochs_sealed} epochs of {engine.spec.kind}"
         )
     else:
-        _graph, stream = _demo_workload(seed)
-        factory = functools.partial(forest_sketch, stream.n, seed + 2)
-        timeline = EpochManager.consume(factory, stream, epochs=args.epochs)
-        engine = TemporalQueryEngine(timeline)
+        _graph, stream, specs = _demo_setup(seed)
+        engine = (GraphSketchEngine.for_spec(specs["forest"])
+                  .epochs(count=args.epochs)
+                  .ingest(stream))
         print(
             f"demo timeline: planted partition, n={stream.n}, "
-            f"{len(stream)} tokens, {engine.epochs} epochs"
+            f"{len(stream)} tokens, {engine.epochs_sealed} epochs"
         )
     t1 = args.t1
-    t2 = args.t2 if args.t2 is not None else engine.epochs
+    t2 = args.t2 if args.t2 is not None else engine.epochs_sealed
     try:
-        answer = engine.answer(t1, t2)
+        results = [
+            engine.query(query)
+            for query in _window_queries(engine, (t1, t2))
+        ]
+        tokens = engine.window_tokens(t1, t2)
     except ValueError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
-    tokens = engine.window_tokens(t1, t2)
     print(f"window [{t1}, {t2}): {tokens} tokens, materialised by "
           f"{'1 load' if t1 == 0 else '2 loads + subtraction'}")
-    for key, value in answer.items():
-        print(f"  {key}: {value}")
+    for result in results:
+        print(f"  [{result.capability}] "
+              f"({result.telemetry.payload_bytes} checkpoint bytes, "
+              f"{result.telemetry.seconds * 1e3:.1f} ms)")
+        _print_result(result)
     return 0
 
 

@@ -43,6 +43,9 @@ class CutEdgesSketch(ArenaBacked):
         Seed source.
     """
 
+    #: Queries this class answers through the repro.api capability registry.
+    CAPABILITIES = frozenset({"cut-query"})
+
     def __init__(self, n: int, k: int, source: HashSource | None = None):
         if n < 2:
             raise ValueError(f"need at least two nodes, got {n}")
@@ -75,6 +78,12 @@ class CutEdgesSketch(ArenaBacked):
 
     def consume(self, stream: DynamicGraphStream) -> "CutEdgesSketch":
         """Feed an entire stream (single pass), vectorised."""
+        from ..api.deprecation import warn_deprecated
+
+        warn_deprecated(
+            f"{type(self).__name__}.consume()",
+            "GraphSketchEngine.for_spec(spec).ingest(stream)",
+        )
         if stream.n != self.n:
             raise ValueError("stream and sketch node universes differ")
         return self.consume_batch(stream.as_batch())
@@ -98,12 +107,12 @@ class CutEdgesSketch(ArenaBacked):
         """Constituent cell banks in serialisation/arena order."""
         return [self.bank.bank]
 
-    def _require_combinable(self, other: "CutEdgesSketch") -> None:
+    def _require_combinable(self, other: "CutEdgesSketch", op: str = "merge") -> None:
         if other.n != self.n:
-            raise incompatible("CutEdgesSketch", "n", self.n, other.n)
+            raise incompatible("CutEdgesSketch", "n", self.n, other.n, op=op)
         if other.k != self.k:
-            raise incompatible("CutEdgesSketch", "k", self.k, other.k)
-        self.bank._require_combinable(other.bank)
+            raise incompatible("CutEdgesSketch", "k", self.k, other.k, op=op)
+        self.bank._require_combinable(other.bank, op=op)
 
     def merge(self, other: "CutEdgesSketch") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
@@ -112,7 +121,7 @@ class CutEdgesSketch(ArenaBacked):
 
     def subtract(self, other: "CutEdgesSketch") -> None:
         """Subtract an identically-seeded sketch (temporal windows)."""
-        self._require_combinable(other)
+        self._require_combinable(other, op="subtract")
         self.arena.subtract(other.arena)
 
     def negate(self) -> None:

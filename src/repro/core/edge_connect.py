@@ -50,6 +50,9 @@ class EdgeConnectivitySketch(ArenaBacked):
         Borůvka rounds per group (see :class:`SpanningForestSketch`).
     """
 
+    #: Queries this class answers through the repro.api capability registry.
+    CAPABILITIES = frozenset({"k-edge-connectivity", "connectivity"})
+
     def __init__(
         self,
         n: int,
@@ -94,6 +97,12 @@ class EdgeConnectivitySketch(ArenaBacked):
 
     def consume(self, stream: DynamicGraphStream) -> "EdgeConnectivitySketch":
         """Feed an entire stream (single pass)."""
+        from ..api.deprecation import warn_deprecated
+
+        warn_deprecated(
+            f"{type(self).__name__}.consume()",
+            "GraphSketchEngine.for_spec(spec).ingest(stream)",
+        )
         if stream.n != self.n:
             raise ValueError("stream and sketch node universes differ")
         return self.consume_batch(stream.as_batch())
@@ -108,13 +117,13 @@ class EdgeConnectivitySketch(ArenaBacked):
         """Constituent cell banks in serialisation/arena order."""
         return [b for group in self.groups for b in group._cell_banks()]
 
-    def _require_combinable(self, other: "EdgeConnectivitySketch") -> None:
+    def _require_combinable(self, other: "EdgeConnectivitySketch", op: str = "merge") -> None:
         if other.n != self.n:
-            raise incompatible("EdgeConnectivitySketch", "n", self.n, other.n)
+            raise incompatible("EdgeConnectivitySketch", "n", self.n, other.n, op=op)
         if other.k != self.k:
-            raise incompatible("EdgeConnectivitySketch", "k", self.k, other.k)
+            raise incompatible("EdgeConnectivitySketch", "k", self.k, other.k, op=op)
         for mine, theirs in zip(self.groups, other.groups):
-            mine._require_combinable(theirs)
+            mine._require_combinable(theirs, op=op)
 
     def merge(self, other: "EdgeConnectivitySketch") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
@@ -123,7 +132,7 @@ class EdgeConnectivitySketch(ArenaBacked):
 
     def subtract(self, other: "EdgeConnectivitySketch") -> None:
         """Subtract an identically-seeded sketch (temporal windows)."""
-        self._require_combinable(other)
+        self._require_combinable(other, op="subtract")
         self.arena.subtract(other.arena)
 
     def negate(self) -> None:

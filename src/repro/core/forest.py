@@ -54,6 +54,9 @@ class SpanningForestSketch(ArenaBacked):
         L0SamplerBank`).
     """
 
+    #: Queries this class answers through the repro.api capability registry.
+    CAPABILITIES = frozenset({"connectivity"})
+
     def __init__(
         self,
         n: int,
@@ -148,6 +151,12 @@ class SpanningForestSketch(ArenaBacked):
 
     def consume(self, stream: DynamicGraphStream) -> "SpanningForestSketch":
         """Feed an entire stream (single pass); returns self for chaining."""
+        from ..api.deprecation import warn_deprecated
+
+        warn_deprecated(
+            f"{type(self).__name__}.consume()",
+            "GraphSketchEngine.for_spec(spec).ingest(stream)",
+        )
         if stream.n != self.n:
             raise ValueError("stream and sketch node universes differ")
         return self.consume_batch(stream.as_batch())
@@ -163,14 +172,13 @@ class SpanningForestSketch(ArenaBacked):
         """Constituent cell banks in serialisation/arena order."""
         return [self.bank.bank]
 
-    def _require_combinable(self, other: "SpanningForestSketch") -> None:
+    def _require_combinable(self, other: "SpanningForestSketch", op: str = "merge") -> None:
         if other.n != self.n:
-            raise incompatible("SpanningForestSketch", "n", self.n, other.n)
+            raise incompatible("SpanningForestSketch", "n", self.n, other.n, op=op)
         if other.rounds != self.rounds:
             raise incompatible(
-                "SpanningForestSketch", "rounds", self.rounds, other.rounds
-            )
-        self.bank._require_combinable(other.bank)
+                "SpanningForestSketch", "rounds", self.rounds, other.rounds, op=op)
+        self.bank._require_combinable(other.bank, op=op)
 
     def merge(self, other: "SpanningForestSketch") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
@@ -179,7 +187,7 @@ class SpanningForestSketch(ArenaBacked):
 
     def subtract(self, other: "SpanningForestSketch") -> None:
         """Subtract an identically-seeded sketch (temporal windows)."""
-        self._require_combinable(other)
+        self._require_combinable(other, op="subtract")
         self.arena.subtract(other.arena)
 
     def negate(self) -> None:

@@ -94,6 +94,9 @@ class MinCutSketch(ArenaBacked):
         Passed through to the underlying forest sketches.
     """
 
+    #: Queries this class answers through the repro.api capability registry.
+    CAPABILITIES = frozenset({"mincut"})
+
     def __init__(
         self,
         n: int,
@@ -147,6 +150,12 @@ class MinCutSketch(ArenaBacked):
         so each ``k-EDGECONNECT`` instance receives one vectorised
         scatter instead of per-token (or per-level re-converted) work.
         """
+        from ..api.deprecation import warn_deprecated
+
+        warn_deprecated(
+            f"{type(self).__name__}.consume()",
+            "GraphSketchEngine.for_spec(spec).ingest(stream)",
+        )
         if stream.n != self.n:
             raise ValueError("stream and sketch node universes differ")
         return self.consume_batch(stream.as_batch())
@@ -172,15 +181,14 @@ class MinCutSketch(ArenaBacked):
         """Constituent cell banks in serialisation/arena order."""
         return [b for inst in self.instances for b in inst._cell_banks()]
 
-    def _require_combinable(self, other: "MinCutSketch") -> None:
+    def _require_combinable(self, other: "MinCutSketch", op: str = "merge") -> None:
         for field in ("n", "levels", "k"):
             if getattr(other, field) != getattr(self, field):
                 raise incompatible(
                     "MinCutSketch", field, getattr(self, field),
-                    getattr(other, field),
-                )
+                    getattr(other, field), op=op)
         for mine, theirs in zip(self.instances, other.instances):
-            mine._require_combinable(theirs)
+            mine._require_combinable(theirs, op=op)
 
     def merge(self, other: "MinCutSketch") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
@@ -189,7 +197,7 @@ class MinCutSketch(ArenaBacked):
 
     def subtract(self, other: "MinCutSketch") -> None:
         """Subtract an identically-seeded sketch (temporal windows)."""
-        self._require_combinable(other)
+        self._require_combinable(other, op="subtract")
         self.arena.subtract(other.arena)
 
     def negate(self) -> None:

@@ -52,6 +52,9 @@ class BipartitenessSketch(ArenaBacked):
     deletion-proof and mergeable like every sketch here.
     """
 
+    #: Queries this class answers through the repro.api capability registry.
+    CAPABILITIES = frozenset({"properties"})
+
     def __init__(self, n: int, source: HashSource | None = None,
                  rounds: int | None = None):
         if source is None:
@@ -78,6 +81,12 @@ class BipartitenessSketch(ArenaBacked):
 
     def consume(self, stream: DynamicGraphStream) -> "BipartitenessSketch":
         """Feed an entire stream (single pass)."""
+        from ..api.deprecation import warn_deprecated
+
+        warn_deprecated(
+            f"{type(self).__name__}.consume()",
+            "GraphSketchEngine.for_spec(spec).ingest(stream)",
+        )
         if stream.n != self.n:
             raise ValueError("stream and sketch node universes differ")
         return self.consume_batch(stream.as_batch())
@@ -102,11 +111,11 @@ class BipartitenessSketch(ArenaBacked):
         """Constituent cell banks in serialisation/arena order."""
         return self.base._cell_banks() + self.doubled._cell_banks()
 
-    def _require_combinable(self, other: "BipartitenessSketch") -> None:
+    def _require_combinable(self, other: "BipartitenessSketch", op: str = "merge") -> None:
         if other.n != self.n:
-            raise incompatible("BipartitenessSketch", "n", self.n, other.n)
-        self.base._require_combinable(other.base)
-        self.doubled._require_combinable(other.doubled)
+            raise incompatible("BipartitenessSketch", "n", self.n, other.n, op=op)
+        self.base._require_combinable(other.base, op=op)
+        self.doubled._require_combinable(other.doubled, op=op)
 
     def merge(self, other: "BipartitenessSketch") -> None:
         """Merge an identically-seeded sketch."""
@@ -115,7 +124,7 @@ class BipartitenessSketch(ArenaBacked):
 
     def subtract(self, other: "BipartitenessSketch") -> None:
         """Subtract an identically-seeded sketch (temporal windows)."""
-        self._require_combinable(other)
+        self._require_combinable(other, op="subtract")
         self.arena.subtract(other.arena)
 
     def negate(self) -> None:
@@ -152,7 +161,7 @@ def is_k_connected_sketch(
     """
     if source is None:
         source = HashSource(0xC0C)
-    sketch = EdgeConnectivitySketch(n, k, source).consume(stream)
+    sketch = EdgeConnectivitySketch(n, k, source).consume_batch(stream.as_batch())
     witness = sketch.witness()
     if witness.num_edges() == 0:
         return False
@@ -189,6 +198,9 @@ class MSTWeightSketch(ArenaBacked):
     the estimator returns the minimum spanning *forest* weight on
     disconnected graphs.
     """
+
+    #: Queries this class answers through the repro.api capability registry.
+    CAPABILITIES = frozenset({"properties"})
 
     def __init__(
         self,
@@ -240,6 +252,12 @@ class MSTWeightSketch(ArenaBacked):
 
     def consume(self, stream: DynamicGraphStream) -> "MSTWeightSketch":
         """Feed an entire stream (single pass)."""
+        from ..api.deprecation import warn_deprecated
+
+        warn_deprecated(
+            f"{type(self).__name__}.consume()",
+            "GraphSketchEngine.for_spec(spec).ingest(stream)",
+        )
         if stream.n != self.n:
             raise ValueError("stream and sketch node universes differ")
         return self.consume_batch(stream.as_batch())
@@ -271,15 +289,14 @@ class MSTWeightSketch(ArenaBacked):
         """Constituent cell banks in serialisation/arena order."""
         return [b for s in self.sketches for b in s._cell_banks()]
 
-    def _require_combinable(self, other: "MSTWeightSketch") -> None:
+    def _require_combinable(self, other: "MSTWeightSketch", op: str = "merge") -> None:
         for field in ("n", "thresholds"):
             if getattr(other, field) != getattr(self, field):
                 raise incompatible(
                     "MSTWeightSketch", field, getattr(self, field),
-                    getattr(other, field),
-                )
+                    getattr(other, field), op=op)
         for mine, theirs in zip(self.sketches, other.sketches):
-            mine._require_combinable(theirs)
+            mine._require_combinable(theirs, op=op)
 
     def merge(self, other: "MSTWeightSketch") -> None:
         """Merge an identically-seeded sketch."""
@@ -288,7 +305,7 @@ class MSTWeightSketch(ArenaBacked):
 
     def subtract(self, other: "MSTWeightSketch") -> None:
         """Subtract an identically-seeded sketch (temporal windows)."""
-        self._require_combinable(other)
+        self._require_combinable(other, op="subtract")
         self.arena.subtract(other.arena)
 
     def negate(self) -> None:

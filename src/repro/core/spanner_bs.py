@@ -80,6 +80,9 @@ class BaswanaSenSpanner:
         sampled-tree step (retries against sampler failure).
     """
 
+    #: Queries this class answers through the repro.api capability registry.
+    CAPABILITIES = frozenset({"spanner-distance"})
+
     def __init__(
         self,
         n: int,

@@ -74,6 +74,9 @@ class RecurseConnectSpanner:
         supernode is recovered).
     """
 
+    #: Queries this class answers through the repro.api capability registry.
+    CAPABILITIES = frozenset({"spanner-distance"})
+
     def __init__(
         self,
         n: int,

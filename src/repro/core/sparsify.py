@@ -83,6 +83,9 @@ class Sparsification(ArenaBacked):
         Rough-sparsifier tuning knobs.
     """
 
+    #: Queries this class answers through the repro.api capability registry.
+    CAPABILITIES = frozenset({"sparsifier"})
+
     def __init__(
         self,
         n: int,
@@ -144,6 +147,12 @@ class Sparsification(ArenaBacked):
 
     def consume(self, stream: DynamicGraphStream) -> "Sparsification":
         """Feed an entire stream (single pass), batched."""
+        from ..api.deprecation import warn_deprecated
+
+        warn_deprecated(
+            f"{type(self).__name__}.consume()",
+            "GraphSketchEngine.for_spec(spec).ingest(stream)",
+        )
         if stream.n != self.n:
             raise ValueError("stream and sketch node universes differ")
         return self.consume_batch(stream.as_batch())
@@ -176,15 +185,14 @@ class Sparsification(ArenaBacked):
         """Constituent cell banks in serialisation/arena order."""
         return self.rough._cell_banks() + [self.recovery.bank]
 
-    def _require_combinable(self, other: "Sparsification") -> None:
+    def _require_combinable(self, other: "Sparsification", op: str = "merge") -> None:
         for field in ("n", "levels", "k"):
             if getattr(other, field) != getattr(self, field):
                 raise incompatible(
                     "Sparsification", field, getattr(self, field),
-                    getattr(other, field),
-                )
-        self.rough._require_combinable(other.rough)
-        self.recovery._require_combinable(other.recovery)
+                    getattr(other, field), op=op)
+        self.rough._require_combinable(other.rough, op=op)
+        self.recovery._require_combinable(other.recovery, op=op)
 
     def merge(self, other: "Sparsification") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
@@ -193,7 +201,7 @@ class Sparsification(ArenaBacked):
 
     def subtract(self, other: "Sparsification") -> None:
         """Subtract an identically-seeded sketch (temporal windows)."""
-        self._require_combinable(other)
+        self._require_combinable(other, op="subtract")
         self.arena.subtract(other.arena)
 
     def negate(self) -> None:

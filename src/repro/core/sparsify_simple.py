@@ -81,6 +81,9 @@ class SimpleSparsification(ArenaBacked):
         Forest-sketch tuning knobs.
     """
 
+    #: Queries this class answers through the repro.api capability registry.
+    CAPABILITIES = frozenset({"sparsifier"})
+
     def __init__(
         self,
         n: int,
@@ -131,6 +134,12 @@ class SimpleSparsification(ArenaBacked):
 
     def consume(self, stream: DynamicGraphStream) -> "SimpleSparsification":
         """Feed an entire stream (single pass), batched per level."""
+        from ..api.deprecation import warn_deprecated
+
+        warn_deprecated(
+            f"{type(self).__name__}.consume()",
+            "GraphSketchEngine.for_spec(spec).ingest(stream)",
+        )
         if stream.n != self.n:
             raise ValueError("stream and sketch node universes differ")
         return self.consume_batch(stream.as_batch())
@@ -156,15 +165,14 @@ class SimpleSparsification(ArenaBacked):
         """Constituent cell banks in serialisation/arena order."""
         return [b for inst in self.instances for b in inst._cell_banks()]
 
-    def _require_combinable(self, other: "SimpleSparsification") -> None:
+    def _require_combinable(self, other: "SimpleSparsification", op: str = "merge") -> None:
         for field in ("n", "levels", "k"):
             if getattr(other, field) != getattr(self, field):
                 raise incompatible(
                     "SimpleSparsification", field, getattr(self, field),
-                    getattr(other, field),
-                )
+                    getattr(other, field), op=op)
         for mine, theirs in zip(self.instances, other.instances):
-            mine._require_combinable(theirs)
+            mine._require_combinable(theirs, op=op)
 
     def merge(self, other: "SimpleSparsification") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
@@ -173,7 +181,7 @@ class SimpleSparsification(ArenaBacked):
 
     def subtract(self, other: "SimpleSparsification") -> None:
         """Subtract an identically-seeded sketch (temporal windows)."""
-        self._require_combinable(other)
+        self._require_combinable(other, op="subtract")
         self.arena.subtract(other.arena)
 
     def negate(self) -> None:

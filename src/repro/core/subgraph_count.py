@@ -85,6 +85,9 @@ class SubgraphSketch(ArenaBacked):
         Per-sampler grid dimensions.
     """
 
+    #: Queries this class answers through the repro.api capability registry.
+    CAPABILITIES = frozenset({"subgraph-count"})
+
     def __init__(
         self,
         n: int,
@@ -140,6 +143,12 @@ class SubgraphSketch(ArenaBacked):
         (the k = 3 fast path computes whole chunks of column expansions
         on 2-D arrays).  Bit-identical to per-token :meth:`update` calls.
         """
+        from ..api.deprecation import warn_deprecated
+
+        warn_deprecated(
+            f"{type(self).__name__}.consume()",
+            "GraphSketchEngine.for_spec(spec).ingest(stream)",
+        )
         if stream.n != self.n:
             raise ValueError("stream and sketch node universes differ")
         return self.consume_batch(stream.as_batch())
@@ -209,14 +218,13 @@ class SubgraphSketch(ArenaBacked):
         """Constituent cell banks in serialisation/arena order."""
         return [self.bank.bank]
 
-    def _require_combinable(self, other: "SubgraphSketch") -> None:
+    def _require_combinable(self, other: "SubgraphSketch", op: str = "merge") -> None:
         for field in ("n", "order", "samplers"):
             if getattr(other, field) != getattr(self, field):
                 raise incompatible(
                     "SubgraphSketch", field, getattr(self, field),
-                    getattr(other, field),
-                )
-        self.bank._require_combinable(other.bank)
+                    getattr(other, field), op=op)
+        self.bank._require_combinable(other.bank, op=op)
 
     def merge(self, other: "SubgraphSketch") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
@@ -225,7 +233,7 @@ class SubgraphSketch(ArenaBacked):
 
     def subtract(self, other: "SubgraphSketch") -> None:
         """Subtract an identically-seeded sketch (temporal windows)."""
-        self._require_combinable(other)
+        self._require_combinable(other, op="subtract")
         self.arena.subtract(other.arena)
 
     def negate(self) -> None:

@@ -60,6 +60,9 @@ class WeightedSparsification(ArenaBacked):
         Forest-sketch tuning knobs passed to every class.
     """
 
+    #: Queries this class answers through the repro.api capability registry.
+    CAPABILITIES = frozenset({"sparsifier"})
+
     def __init__(
         self,
         n: int,
@@ -108,6 +111,12 @@ class WeightedSparsification(ArenaBacked):
 
     def consume(self, stream: DynamicGraphStream) -> "WeightedSparsification":
         """Feed an entire stream (single pass), splitting by class."""
+        from ..api.deprecation import warn_deprecated
+
+        warn_deprecated(
+            f"{type(self).__name__}.consume()",
+            "GraphSketchEngine.for_spec(spec).ingest(stream)",
+        )
         if stream.n != self.n:
             raise ValueError("stream and sketch node universes differ")
         return self.consume_batch(stream.as_batch())
@@ -139,15 +148,14 @@ class WeightedSparsification(ArenaBacked):
         """Constituent cell banks in serialisation/arena order."""
         return [b for cl in self.classes for b in cl._cell_banks()]
 
-    def _require_combinable(self, other: "WeightedSparsification") -> None:
+    def _require_combinable(self, other: "WeightedSparsification", op: str = "merge") -> None:
         for field in ("n", "num_classes", "max_weight"):
             if getattr(other, field) != getattr(self, field):
                 raise incompatible(
                     "WeightedSparsification", field, getattr(self, field),
-                    getattr(other, field),
-                )
+                    getattr(other, field), op=op)
         for mine, theirs in zip(self.classes, other.classes):
-            mine._require_combinable(theirs)
+            mine._require_combinable(theirs, op=op)
 
     def merge(self, other: "WeightedSparsification") -> None:
         """Merge an identically-seeded sketch (distributed streams)."""
@@ -156,7 +164,7 @@ class WeightedSparsification(ArenaBacked):
 
     def subtract(self, other: "WeightedSparsification") -> None:
         """Subtract an identically-seeded sketch (temporal windows)."""
-        self._require_combinable(other)
+        self._require_combinable(other, op="subtract")
         self.arena.subtract(other.arena)
 
     def negate(self) -> None:

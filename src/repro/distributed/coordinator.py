@@ -368,7 +368,19 @@ def sharded_consume(
     mode: str = "sequential",
     seed: int = 0,
 ) -> ShardedRunReport:
-    """One-call convenience wrapper around :class:`ShardedSketchRunner`."""
+    """One-call convenience wrapper around :class:`ShardedSketchRunner`.
+
+    .. deprecated::
+        Use ``GraphSketchEngine.for_spec(spec).sharded(...)`` — the
+        engine runs the identical pipeline and adds the uniform query
+        dispatch on top (see ``docs/MIGRATION.md``).
+    """
+    from ..api.deprecation import warn_deprecated
+
+    warn_deprecated(
+        "sharded_consume()",
+        "GraphSketchEngine.for_spec(spec).sharded(sites=K).ingest(stream)",
+    )
     return ShardedSketchRunner(
         factory, sites=sites, strategy=strategy, mode=mode, seed=seed
     ).run(stream)

@@ -41,10 +41,22 @@ class SketchCompatibilityError(ReproError, ValueError):
     """
 
 
-def incompatible(kind: str, field: str, ours: object, theirs: object) -> "SketchCompatibilityError":
-    """Build the standard merge-compatibility error message."""
+def incompatible(
+    kind: str,
+    field: str,
+    ours: object,
+    theirs: object,
+    op: str = "merge",
+) -> "SketchCompatibilityError":
+    """Build the standard sketch-compatibility error message.
+
+    ``op`` names the operation that was refused (``"merge"``,
+    ``"subtract"``, ``"load"``...), so a failure surfaced from a
+    temporal subtraction or a codec ``like=`` reconciliation does not
+    misleadingly claim a merge was attempted.
+    """
     return SketchCompatibilityError(
-        f"cannot merge {kind}: {field} differs ({ours!r} != {theirs!r})"
+        f"cannot {op} {kind}: {field} differs ({ours!r} != {theirs!r})"
     )
 
 

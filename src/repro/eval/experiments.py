@@ -73,7 +73,7 @@ def run_e1_mincut(quick: bool = True, seed: int = 0) -> Table:
         for eps, c_k in sweeps:
             sketch = MinCutSketch(
                 wl.graph.n, epsilon=eps, source=HashSource(seed + 100), c_k=c_k
-            ).consume(wl.stream)
+            ).consume_batch(wl.stream.as_batch())
             result = sketch.estimate()
             table.add_row(
                 wl.name, eps, c_k, result.k, truth, result.value,
@@ -101,7 +101,7 @@ def run_e2_simple_sparsify(quick: bool = True, seed: int = 0) -> Table:
         for c_k in sweeps:
             sk = SimpleSparsification(
                 wl.graph.n, epsilon=0.5, source=HashSource(seed + 7), c_k=c_k
-            ).consume(wl.stream)
+            ).consume_batch(wl.stream.as_batch())
             sp = sk.sparsifier()
             rep = cut_approximation_report(wl.graph, sp, sample_cuts=300, seed=seed)
             table.add_row(
@@ -141,7 +141,7 @@ def run_e3_better_sparsify(quick: bool = True, seed: int = 0) -> Table:
         wl = make_workload(wname, seed=seed)
         simple = SimpleSparsification(
             wl.graph.n, epsilon=0.5, source=HashSource(seed + 3), c_k=0.2
-        ).consume(wl.stream)
+        ).consume_batch(wl.stream.as_batch())
         ssp = simple.sparsifier()
         srep = cut_approximation_report(wl.graph, ssp, sample_cuts=300, seed=seed)
         table.add_row(
@@ -151,7 +151,7 @@ def run_e3_better_sparsify(quick: bool = True, seed: int = 0) -> Table:
         better = Sparsification(
             wl.graph.n, epsilon=0.5, source=HashSource(seed + 4),
             c_k=0.3, c_rough=0.05, c_level=4.0,
-        ).consume(wl.stream)
+        ).consume_batch(wl.stream.as_batch())
         bsp = better.sparsifier()
         brep = cut_approximation_report(wl.graph, bsp, sample_cuts=300, seed=seed)
         table.add_row(
@@ -181,7 +181,7 @@ def run_e4_weighted(quick: bool = True, seed: int = 0) -> Table:
         sk = WeightedSparsification(
             wl.graph.n, max_weight=16, epsilon=0.5,
             source=HashSource(seed + 11), c_k=c_k,
-        ).consume(wl.stream)
+        ).consume_batch(wl.stream.as_batch())
         sp = sk.sparsifier()
         rep = cut_approximation_report(wl.graph, sp, sample_cuts=300, seed=seed)
         table.add_row(
@@ -208,7 +208,7 @@ def run_e5_subgraphs(quick: bool = True, seed: int = 0) -> Table:
     for s in budgets:
         sketch = SubgraphSketch(
             wl.graph.n, order=3, samplers=s, source=HashSource(seed + 21)
-        ).consume(wl.stream)
+        ).consume_batch(wl.stream.as_batch())
         for pattern in patterns:
             est = sketch.estimate(pattern)
             exact = gamma_exact(wl.graph, encoding_class(pattern), 3)
@@ -221,7 +221,7 @@ def run_e5_subgraphs(quick: bool = True, seed: int = 0) -> Table:
     insert_only = stream_from_edges(wl.graph.n, list(wl.graph.edges()), 3)
     buriol = BuriolTriangleEstimator(
         wl.graph.n, samplers=1024 if quick else 4096, seed=seed
-    ).consume(insert_only)
+    ).consume_batch(insert_only.as_batch())
     best = buriol.estimate()
     true_t = triangle_count(wl.graph)
     table.add_row(
@@ -383,7 +383,7 @@ def run_e8_primitives(quick: bool = True, seed: int = 0) -> Table:
     wl = make_workload("er-small", seed=seed)
     sketch_batched = EdgeConnectivitySketch(wl.graph.n, 4, src.derive(8))
     t0 = time.perf_counter()
-    sketch_batched.consume(wl.stream)
+    sketch_batched.consume_batch(wl.stream.as_batch())
     batched_s = time.perf_counter() - t0
     sketch_token = EdgeConnectivitySketch(wl.graph.n, 4, src.derive(8))
     t0 = time.perf_counter()
@@ -443,8 +443,8 @@ def run_e9_model(quick: bool = True, seed: int = 0) -> Table:
 
     # (a) Deletion cancellation: sketch(churn stream) == sketch(clean stream).
     clean = stream_from_edges(n, list(wl.graph.edges()))
-    sk_churn = SpanningForestSketch(n, HashSource(seed + 61)).consume(wl.stream)
-    sk_clean = SpanningForestSketch(n, HashSource(seed + 61)).consume(clean)
+    sk_churn = SpanningForestSketch(n, HashSource(seed + 61)).consume_batch(wl.stream.as_batch())
+    sk_clean = SpanningForestSketch(n, HashSource(seed + 61)).consume_batch(clean.as_batch())
     identical = (
         (sk_churn.bank.bank.phi == sk_clean.bank.bank.phi).all()
         and (sk_churn.bank.bank.iota == sk_clean.bank.bank.iota).all()
@@ -459,7 +459,7 @@ def run_e9_model(quick: bool = True, seed: int = 0) -> Table:
     parts = wl.stream.partition(sites, seed=seed)
     merged = SpanningForestSketch(n, HashSource(seed + 61))
     for part in parts:
-        site_sketch = SpanningForestSketch(n, HashSource(seed + 61)).consume(part)
+        site_sketch = SpanningForestSketch(n, HashSource(seed + 61)).consume_batch(part.as_batch())
         merged.merge(site_sketch)
     same = (merged.bank.bank.phi == sk_churn.bank.bank.phi).all()
     forest_ok = len(merged.spanning_forest()) == len(
@@ -475,7 +475,7 @@ def run_e9_model(quick: bool = True, seed: int = 0) -> Table:
     for r in range(reps):
         sk = SpanningForestSketch(n, HashSource(seed + 70 + r))
         t0 = time.perf_counter()
-        sk.consume(wl.stream)
+        sk.consume_batch(wl.stream.as_batch())
         dt = time.perf_counter() - t0
         rates.append(len(wl.stream) / dt)
     table.add_row("throughput", f"forest sketch, n={n}",
@@ -514,7 +514,7 @@ def run_e10_companion(quick: bool = True, seed: int = 0) -> Table:
     # Bipartiteness: even vs odd cycle.
     for nodes, expect in ((12, True), (13, False)):
         st = stream_from_edges(nodes, cycle_graph(nodes))
-        sk = BipartitenessSketch(nodes, src.derive(1, nodes)).consume(st)
+        sk = BipartitenessSketch(nodes, src.derive(1, nodes)).consume_batch(st.as_batch())
         table.add_row(
             "bipartiteness", f"cycle({nodes})", "is bipartite",
             sk.is_bipartite(), expect, sk.memory_cells(),
@@ -540,18 +540,18 @@ def run_e10_companion(quick: bool = True, seed: int = 0) -> Table:
     for u, v, w in sorted(wedges, key=lambda e: e[2]):
         if uf.union(u, v):
             truth += w
-    exact_sk = MSTWeightSketch(n, max_weight=8, source=src.derive(3)).consume(stw)
+    exact_sk = MSTWeightSketch(n, max_weight=8, source=src.derive(3)).consume_batch(stw.as_batch())
     table.add_row("mst weight", f"weighted er(n={n})", "exact thresholds",
                   exact_sk.estimate(), truth, exact_sk.memory_cells())
     geo_sk = MSTWeightSketch(
         n, max_weight=8, epsilon=0.5, source=src.derive(4)
-    ).consume(stw)
+    ).consume_batch(stw.as_batch())
     table.add_row("mst weight", f"weighted er(n={n})", "(1+0.5) ladder",
                   geo_sk.estimate(), truth, geo_sk.memory_cells())
 
     # Cut-edge queries on the dumbbell bar.
     st = stream_from_edges(2 * clique, dumbbell_graph(clique, bridges))
-    cq = CutEdgesSketch(2 * clique, k=8, source=src.derive(5)).consume(st)
+    cq = CutEdgesSketch(2 * clique, k=8, source=src.derive(5)).consume_batch(st.as_batch())
     crossing = cq.crossing_edges(set(range(clique)))
     table.add_row("cut queries", f"dumbbell({clique},{bridges})",
                   "bar edges listed", len(crossing), bridges,
@@ -573,9 +573,7 @@ def run_e11_distributed(quick: bool = True, seed: int = 0) -> Table:
     grows linearly.  Each row also re-verifies shard-count invariance
     (coordinator answers == single-site answers) on the fly.
     """
-    import functools
-
-    from ..distributed import ShardedSketchRunner, forest_sketch, mincut_sketch
+    from ..api import GraphSketchEngine, SketchSpec
     from ..sketch import dump_sketch
 
     table = Table(
@@ -588,11 +586,10 @@ def run_e11_distributed(quick: bool = True, seed: int = 0) -> Table:
     edges = list(wl.graph.edges())
     sites = 4
     cycles = [0, 1, 3] if quick else [0, 1, 3, 7]
-    factories = [("forest", functools.partial(forest_sketch, n, seed + 80))]
+    specs = [("forest", SketchSpec.of("spanning_forest", n, seed=seed + 80))]
     if not quick:
-        factories.append(
-            ("mincut",
-             functools.partial(mincut_sketch, n, seed + 81, c_k=0.5)),
+        specs.append(
+            ("mincut", SketchSpec.of("mincut", n, seed=seed + 81, c_k=0.5)),
         )
     for extra_cycles in cycles:
         # Same final graph, ever-longer stream: append full
@@ -603,12 +600,13 @@ def run_e11_distributed(quick: bool = True, seed: int = 0) -> Table:
                 stream.delete(u, v)
             for u, v in edges:
                 stream.insert(u, v)
-        for sk_name, factory in factories:
-            report = ShardedSketchRunner(
-                factory, sites=sites, strategy="hash-edge", seed=seed
-            ).run(stream)
-            direct = factory().consume(stream)
-            identical = dump_sketch(report.sketch) == dump_sketch(direct)
+        for sk_name, spec in specs:
+            engine = (GraphSketchEngine.for_spec(spec)
+                      .sharded(sites=sites, strategy="hash-edge", seed=seed)
+                      .ingest(stream))
+            report = engine.last_report
+            direct = spec.build().consume_batch(stream.as_batch())
+            identical = engine.snapshot() == dump_sketch(direct)
             stream_bytes_per_site = 24 * len(stream) // sites
             table.add_row(
                 wl.name, sk_name, sites, len(stream),
@@ -636,13 +634,17 @@ def run_e12_temporal(quick: bool = True, seed: int = 0) -> Table:
     recomputed from the window's token aggregate, and re-verifies the
     subtraction == replay identity on the fly.
     """
-    import functools
     from collections import Counter
 
-    from ..distributed import forest_sketch, mincut_sketch
+    from ..api import (
+        ConnectivityQuery,
+        GraphSketchEngine,
+        MinCutQuery,
+        SketchSpec,
+    )
     from ..graphs import Graph
     from ..sketch import dump_sketch
-    from ..temporal import EpochManager, TemporalQueryEngine
+    from ..temporal import materialise_window
 
     table = Table(
         "E12: temporal sketching — epoch checkpoints and window queries",
@@ -655,21 +657,23 @@ def run_e12_temporal(quick: bool = True, seed: int = 0) -> Table:
     tokens = list(stream)
     grids = [4, 8] if quick else [2, 4, 8, 16]
     sketches = [
-        ("forest", functools.partial(forest_sketch, n, seed + 120)),
-        ("mincut", functools.partial(mincut_sketch, n, seed + 121, c_k=0.5)),
+        ("forest", SketchSpec.of("spanning_forest", n, seed=seed + 120)),
+        ("mincut", SketchSpec.of("mincut", n, seed=seed + 121, c_k=0.5)),
     ]
     for epochs in grids:
-        for sk_name, factory in sketches:
-            timeline = EpochManager.consume(factory, stream, epochs=epochs)
-            engine = TemporalQueryEngine(timeline)
-            manifest_bytes = len(timeline.to_bytes())
+        for sk_name, spec in sketches:
+            engine = (GraphSketchEngine.for_spec(spec)
+                      .epochs(count=epochs)
+                      .ingest(stream))
+            timeline = engine.timeline
+            manifest_bytes = len(engine.snapshot())
             # Prefix window [0, E) — the full graph — plus the suffix
             # window [E/2, E), whose tokens alone define a *net* graph.
             for t1, t2 in ((0, epochs), (epochs // 2, epochs)):
                 b1 = timeline.boundaries[t1 - 1] if t1 else 0
                 b2 = timeline.boundaries[t2 - 1]
-                window = engine.window_sketch(t1, t2)
-                replay = factory()
+                window = materialise_window(timeline, t1, t2)
+                replay = spec.build()
                 replay.consume_batch(stream.as_batch().slice(b1, b2))
                 identical = dump_sketch(window) == dump_sketch(replay)
                 agg: Counter = Counter()
@@ -679,10 +683,12 @@ def run_e12_temporal(quick: bool = True, seed: int = 0) -> Table:
                     n, [e for e, m in agg.items() if m != 0]
                 )
                 if sk_name == "forest":
-                    answer = n - len(window.spanning_forest())
+                    answer = engine.query(
+                        ConnectivityQuery(window=(t1, t2))
+                    ).components
                     exact = len(_component_sizes(support))
                 else:
-                    answer = window.estimate().value
+                    answer = engine.query(MinCutQuery(window=(t1, t2))).value
                     exact = global_min_cut_value(support)
                 table.add_row(
                     wl.name, sk_name, epochs, f"[{t1},{t2})", b2 - b1,

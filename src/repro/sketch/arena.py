@@ -139,11 +139,10 @@ class SketchArena:
     #: and ends up *slower* than the old per-bank loop it replaces.
     _FOLD_BLOCK = 1 << 17
 
-    def _require_combinable(self, other: "SketchArena") -> None:
+    def _require_combinable(self, other: "SketchArena", op: str = "merge") -> None:
         if other.layout != self.layout:
             raise SketchCompatibilityError(
-                "can only combine arenas with identical bank layout and "
-                "fingerprint seeds"
+                f"cannot {op} arenas: bank layout or fingerprint seeds differ"
             )
 
     def merge(self, other: "SketchArena") -> None:
@@ -153,7 +152,7 @@ class SketchArena:
 
     def subtract(self, other: "SketchArena") -> None:
         """Cell-wise subtraction (the temporal-window primitive)."""
-        self._require_combinable(other)
+        self._require_combinable(other, op="subtract")
         self._combine_raw(other.buffer, subtract=True)
 
     def _combine_raw(self, raw: np.ndarray, subtract: bool) -> None:
@@ -259,6 +258,12 @@ class ArenaBacked:
     list their serialisation codec uses) and get a lazily-attached
     :class:`SketchArena` via :attr:`arena`.
     """
+
+    #: Query capabilities the class declares for the :mod:`repro.api`
+    #: capability registry (e.g. ``"connectivity"``, ``"mincut"``).
+    #: Empty by default; each registry sketch class overrides it with
+    #: the queries its post-processing surface can actually answer.
+    CAPABILITIES: frozenset[str] = frozenset()
 
     _arena: SketchArena | None = None
 

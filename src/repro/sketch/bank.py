@@ -111,7 +111,7 @@ class CellBank:
         self.fp1[:] = mod_mersenne31(self.fp1)
         self.fp2[:] = mod_mersenne31(self.fp2)
 
-    def _require_combinable(self, other: "CellBank") -> None:
+    def _require_combinable(self, other: "CellBank", op: str = "merge") -> None:
         if (
             other.size != self.size
             or other.domain != self.domain
@@ -119,7 +119,7 @@ class CellBank:
             or other.z2 != self.z2
         ):
             raise SketchCompatibilityError(
-                "can only combine banks with identical shape and seed"
+                f"cannot {op} banks: shape or seed differs"
             )
 
     def merge(self, other: "CellBank") -> None:
@@ -140,7 +140,7 @@ class CellBank:
         the difference is taken mod ``p`` (both operands are already
         reduced, hence ``+ p`` keeps the fold input non-negative).
         """
-        self._require_combinable(other)
+        self._require_combinable(other, op="subtract")
         self.phi -= other.phi
         self.iota -= other.iota
         self.fp1[:] = mod_mersenne31(self.fp1 - other.fp1 + MERSENNE31)

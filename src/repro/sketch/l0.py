@@ -262,7 +262,9 @@ class L0SamplerBank(ArenaBacked):
             cells_per_row.append((base + row) * self.buckets + bucket)
         self.bank.scatter_multi(cells_per_row, items, deltas)
 
-    def _require_combinable(self, other: "L0SamplerBank") -> None:
+    def _require_combinable(
+        self, other: "L0SamplerBank", op: str = "merge"
+    ) -> None:
         if (
             other.families != self.families
             or other.samplers != self.samplers
@@ -271,7 +273,7 @@ class L0SamplerBank(ArenaBacked):
             or other.buckets != self.buckets
         ):
             raise SketchCompatibilityError(
-                "can only combine identically-shaped banks"
+                f"cannot {op} banks: shapes differ"
             )
         if (
             self.source_seed is not None
@@ -279,7 +281,8 @@ class L0SamplerBank(ArenaBacked):
             and other.source_seed != self.source_seed
         ):
             raise incompatible(
-                "L0SamplerBank", "seed", self.source_seed, other.source_seed
+                "L0SamplerBank", "seed", self.source_seed, other.source_seed,
+                op=op,
             )
 
     def _cell_banks(self) -> list[CellBank]:
@@ -297,8 +300,8 @@ class L0SamplerBank(ArenaBacked):
         Afterwards this bank sketches the *difference* of the two
         vectors — the temporal-window primitive (checkpoint algebra).
         """
-        self._require_combinable(other)
-        self.bank._require_combinable(other.bank)
+        self._require_combinable(other, op="subtract")
+        self.bank._require_combinable(other.bank, op="subtract")
         self.arena.subtract(other.arena)
 
     def negate(self) -> None:

@@ -543,7 +543,7 @@ def _combine_sketch_bytes(sketch: Any, data: bytes, subtract: bool) -> None:
     codec = _CODECS_BY_KIND.get(kind[len(_SKETCH_KIND_PREFIX):])
     if codec is None:
         raise ValueError(f"unknown sketch kind {kind!r}")
-    _verify_like(codec, header, sketch)
+    _verify_like(codec, header, sketch, op="subtract" if subtract else "merge")
     banks = codec.banks(sketch)
     cells = header.get("cells")
     if cells != [int(b.size) for b in banks]:
@@ -567,12 +567,14 @@ def peek_sketch_meta(data: bytes) -> dict:
     return _read_header_any(data)
 
 
-def _verify_like(codec: SketchCodec, header: dict, like: Any) -> None:
+def _verify_like(
+    codec: SketchCodec, header: dict, like: Any, op: str = "load"
+) -> None:
     like_codec = _CODECS_BY_CLASS.get(type(like))
     if like_codec is None or like_codec.kind != codec.kind:
         raise SketchCompatibilityError(
-            f"blob holds a {codec.kind!r} sketch but the reference is "
-            f"{type(like).__name__}"
+            f"cannot {op}: blob holds a {codec.kind!r} sketch but the "
+            f"reference is {type(like).__name__}"
         )
     expected = dict(codec.params(like))
     expected["seed"] = getattr(like, "source_seed", None)
@@ -583,8 +585,8 @@ def _verify_like(codec: SketchCodec, header: dict, like: Any) -> None:
     ]
     if mismatched:
         raise SketchCompatibilityError(
-            "serialised sketch is incompatible with the local reference — "
-            + "; ".join(mismatched)
+            f"cannot {op} serialised sketch: incompatible with the local "
+            "reference — " + "; ".join(mismatched)
         )
 
 

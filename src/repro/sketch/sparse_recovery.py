@@ -224,7 +224,9 @@ class SparseRecoveryBank(ArenaBacked):
             cells_per_row.append(base + r * self.buckets + bucket)
         self.bank.scatter_multi(cells_per_row, items, deltas)
 
-    def _require_combinable(self, other: "SparseRecoveryBank") -> None:
+    def _require_combinable(
+        self, other: "SparseRecoveryBank", op: str = "merge"
+    ) -> None:
         if (
             other.groups != self.groups
             or other.instances != self.instances
@@ -233,7 +235,7 @@ class SparseRecoveryBank(ArenaBacked):
             or other.rows != self.rows
         ):
             raise SketchCompatibilityError(
-                "can only combine identically-shaped banks"
+                f"cannot {op} banks: shapes differ"
             )
         if (
             self.source_seed is not None
@@ -241,7 +243,8 @@ class SparseRecoveryBank(ArenaBacked):
             and other.source_seed != self.source_seed
         ):
             raise incompatible(
-                "SparseRecoveryBank", "seed", self.source_seed, other.source_seed
+                "SparseRecoveryBank", "seed", self.source_seed,
+                other.source_seed, op=op,
             )
 
     def _cell_banks(self) -> list[CellBank]:
@@ -255,8 +258,8 @@ class SparseRecoveryBank(ArenaBacked):
 
     def subtract(self, other: "SparseRecoveryBank") -> None:
         """Cell-wise subtraction of an identically-shaped bank."""
-        self._require_combinable(other)
-        self.bank._require_combinable(other.bank)
+        self._require_combinable(other, op="subtract")
+        self.bank._require_combinable(other.bank, op="subtract")
         self.arena.subtract(other.arena)
 
     def negate(self) -> None:

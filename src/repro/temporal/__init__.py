@@ -37,7 +37,13 @@ from .epochs import (
     epoch_boundaries,
     normalize_boundaries,
 )
-from .query import TemporalQueryEngine, window_answer
+from .query import (
+    TemporalQueryEngine,
+    materialise_window,
+    window_answer,
+    window_payload_bytes,
+    window_tokens,
+)
 
 __all__ = [
     "EpochCheckpoint",
@@ -45,6 +51,9 @@ __all__ = [
     "EpochTimeline",
     "TemporalQueryEngine",
     "epoch_boundaries",
+    "materialise_window",
     "normalize_boundaries",
     "window_answer",
+    "window_payload_bytes",
+    "window_tokens",
 ]

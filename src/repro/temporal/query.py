@@ -27,7 +27,57 @@ from ..errors import RecoveryFailed, SketchFailure
 from ..sketch.serialize import load_sketch, subtract_sketch_bytes
 from .epochs import EpochTimeline
 
-__all__ = ["TemporalQueryEngine", "window_answer"]
+__all__ = [
+    "TemporalQueryEngine",
+    "materialise_window",
+    "require_window",
+    "window_answer",
+    "window_payload_bytes",
+    "window_tokens",
+]
+
+
+def require_window(epochs: int, t1: int, t2: int) -> None:
+    """Validate the half-open epoch range ``[t1, t2)`` against ``epochs``."""
+    if not (0 <= t1 < t2 <= epochs):
+        raise ValueError(
+            f"window [{t1}, {t2}) is not a valid epoch range within "
+            f"[0, {epochs}]"
+        )
+
+
+def materialise_window(timeline: EpochTimeline, t1: int, t2: int) -> Any:
+    """The sketch of exactly the tokens in epochs ``t1+1 .. t2``.
+
+    One checkpoint load for a prefix window, two loads and a
+    subtraction otherwise — O(sketch size), independent of how many
+    tokens the window spans (the point of checkpointing).  The shared
+    implementation behind both :class:`TemporalQueryEngine` and the
+    :class:`~repro.api.GraphSketchEngine` temporal mode.
+    """
+    require_window(timeline.epochs, t1, t2)
+    sketch = load_sketch(timeline.checkpoint(t2).payload)
+    if t1 > 0:
+        # In-arena subtraction of the earlier checkpoint's bytes —
+        # no second twin sketch is materialised.
+        subtract_sketch_bytes(sketch, timeline.checkpoint(t1).payload)
+    return sketch
+
+
+def window_payload_bytes(timeline: EpochTimeline, t1: int, t2: int) -> int:
+    """Checkpoint bytes :func:`materialise_window` loads for ``[t1, t2)``."""
+    require_window(timeline.epochs, t1, t2)
+    loaded = len(timeline.checkpoint(t2).payload)
+    if t1 > 0:
+        loaded += len(timeline.checkpoint(t1).payload)
+    return loaded
+
+
+def window_tokens(timeline: EpochTimeline, t1: int, t2: int) -> int:
+    """Number of stream tokens the epoch window ``[t1, t2)`` spans."""
+    require_window(timeline.epochs, t1, t2)
+    start = timeline.checkpoint(t1).cumulative_tokens if t1 else 0
+    return timeline.checkpoint(t2).cumulative_tokens - start
 
 
 class TemporalQueryEngine:
@@ -36,15 +86,39 @@ class TemporalQueryEngine:
     Windows are half-open epoch index ranges ``[t1, t2)`` with
     ``0 <= t1 < t2 <= epochs``: ``window(0, t)`` is the prefix through
     epoch ``t``; ``window(t - 1, t)`` is epoch ``t`` alone.
+
+    .. deprecated::
+        Direct construction is deprecated — build a
+        :class:`~repro.api.GraphSketchEngine` with ``.epochs(...)`` (or
+        restore one from manifest bytes) and issue windowed queries
+        through its single ``query()`` dispatch instead.
     """
 
     def __init__(self, timeline: EpochTimeline):
+        from ..api.deprecation import warn_deprecated
+
+        warn_deprecated(
+            "direct TemporalQueryEngine use",
+            "GraphSketchEngine.for_spec(spec).epochs(...) / "
+            "GraphSketchEngine.restore(manifest)",
+        )
         self.timeline = timeline
 
     @classmethod
     def from_manifest(cls, data: bytes) -> "TemporalQueryEngine":
         """Build an engine straight from epoch-manifest bytes."""
-        return cls(EpochTimeline.from_bytes(data))
+        from ..api.deprecation import warn_deprecated
+
+        # Warn here (attributed to the caller) rather than routing
+        # through __init__, whose fixed stacklevel would attribute the
+        # warning to this classmethod's frame inside the library.
+        warn_deprecated(
+            "TemporalQueryEngine.from_manifest()",
+            "GraphSketchEngine.restore(manifest)",
+        )
+        engine = cls.__new__(cls)
+        engine.timeline = EpochTimeline.from_bytes(data)
+        return engine
 
     @property
     def epochs(self) -> int:
@@ -52,26 +126,11 @@ class TemporalQueryEngine:
         return self.timeline.epochs
 
     def _require_window(self, t1: int, t2: int) -> None:
-        if not (0 <= t1 < t2 <= self.epochs):
-            raise ValueError(
-                f"window [{t1}, {t2}) is not a valid epoch range within "
-                f"[0, {self.epochs}]"
-            )
+        require_window(self.epochs, t1, t2)
 
     def window_sketch(self, t1: int, t2: int) -> Any:
-        """The sketch of exactly the tokens in epochs ``t1+1 .. t2``.
-
-        One checkpoint load for a prefix window, two loads and a
-        subtraction otherwise — O(sketch size), independent of how many
-        tokens the window spans (the point of checkpointing).
-        """
-        self._require_window(t1, t2)
-        sketch = load_sketch(self.timeline.checkpoint(t2).payload)
-        if t1 > 0:
-            # In-arena subtraction of the earlier checkpoint's bytes —
-            # no second twin sketch is materialised.
-            subtract_sketch_bytes(sketch, self.timeline.checkpoint(t1).payload)
-        return sketch
+        """The sketch of exactly the tokens in epochs ``t1+1 .. t2``."""
+        return materialise_window(self.timeline, t1, t2)
 
     def prefix_sketch(self, t: int) -> Any:
         """The cumulative sketch through epoch ``t`` (graph state)."""
@@ -79,9 +138,7 @@ class TemporalQueryEngine:
 
     def window_tokens(self, t1: int, t2: int) -> int:
         """Number of stream tokens the window spans."""
-        self._require_window(t1, t2)
-        start = self.timeline.checkpoint(t1).cumulative_tokens if t1 else 0
-        return self.timeline.checkpoint(t2).cumulative_tokens - start
+        return window_tokens(self.timeline, t1, t2)
 
     def answer(self, t1: int, t2: int) -> dict:
         """One canonical answer for the window, keyed by sketch kind."""

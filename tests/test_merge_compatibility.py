@@ -132,3 +132,63 @@ class TestSketchCompatibilityError:
         b.update(np.array([0]), np.array([0]), np.array([5]), np.array([1]))
         with pytest.raises(SketchCompatibilityError, match="seed"):
             a.merge(b)
+
+
+#: Mismatch cases whose classes implement subtract() (the arena-backed
+#: banks and every registry sketch class; the scalar reference sketches
+#: OneSparseCell / L0Sampler / SparseRecovery deliberately do not).
+SUBTRACTABLE_CASES = [
+    c for c in MISMATCH_CASES
+    if c[0] not in ("one_sparse_cell", "l0_sampler", "sparse_recovery")
+]
+
+
+class TestOperationNaming:
+    """The compatibility message names the operation that was refused.
+
+    A failure surfaced from a temporal-window subtraction or a codec
+    ``like=`` reconciliation must not misleadingly claim that a *merge*
+    was attempted (the ``errors.incompatible(op=...)`` contract).
+    """
+
+    @pytest.mark.parametrize(
+        "name,build_a,build_b", MISMATCH_CASES,
+        ids=[c[0] for c in MISMATCH_CASES],
+    )
+    def test_merge_message_names_merge(self, name, build_a, build_b):
+        with pytest.raises(SketchCompatibilityError, match="merge"):
+            build_a().merge(build_b())
+
+    @pytest.mark.parametrize(
+        "name,build_a,build_b", SUBTRACTABLE_CASES,
+        ids=[c[0] for c in SUBTRACTABLE_CASES],
+    )
+    def test_subtract_message_names_subtract(self, name, build_a, build_b):
+        with pytest.raises(SketchCompatibilityError) as err:
+            build_a().subtract(build_b())
+        assert "subtract" in str(err.value)
+        assert "merge" not in str(err.value)
+
+    def test_codec_load_message_names_load(self):
+        from repro.sketch import dump_sketch, load_sketch
+
+        blob = dump_sketch(SpanningForestSketch(10, SRC.derive(40)))
+        reference = SpanningForestSketch(12, SRC.derive(40))
+        with pytest.raises(SketchCompatibilityError) as err:
+            load_sketch(blob, like=reference)
+        assert "load" in str(err.value)
+        assert "cannot merge" not in str(err.value)
+
+    def test_combine_bytes_messages_name_their_operation(self):
+        from repro.sketch import (
+            dump_sketch,
+            merge_sketch_bytes,
+            subtract_sketch_bytes,
+        )
+
+        blob = dump_sketch(SpanningForestSketch(10, SRC.derive(41)))
+        reference = SpanningForestSketch(12, SRC.derive(41))
+        with pytest.raises(SketchCompatibilityError, match="cannot merge"):
+            merge_sketch_bytes(reference, blob)
+        with pytest.raises(SketchCompatibilityError, match="cannot subtract"):
+            subtract_sketch_bytes(reference, blob)
