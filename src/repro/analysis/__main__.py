@@ -1,0 +1,9 @@
+"""Module entry point: ``python -m repro.analysis``."""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,103 @@
+"""Small shared AST helpers for the analysis rules.
+
+Every rule works on plain :mod:`ast` trees — no runtime imports, no
+third-party parsers — so the analyser can lint a module whose imports
+would fail (or would execute side effects) in the linting environment.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+__all__ = [
+    "ImportMap",
+    "call_name",
+    "dotted_name",
+    "iter_parents",
+    "walk_with_parents",
+]
+
+
+class ImportMap:
+    """What each local name refers to, from a module's import statements.
+
+    Maps local aliases to fully-qualified dotted names: after
+    ``import numpy as np`` the map holds ``{"np": "numpy"}``; after
+    ``from numpy.random import default_rng as rng`` it holds
+    ``{"rng": "numpy.random.default_rng"}``.  Good enough for the
+    module-level idioms this codebase uses; rules fall back to literal
+    attribute chains for anything fancier.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve(self, expr: ast.expr) -> str | None:
+        """The fully-qualified dotted name ``expr`` refers to, if known.
+
+        ``np.random.default_rng`` resolves to
+        ``"numpy.random.default_rng"`` under ``import numpy as np``;
+        unknown roots resolve through unchanged (``foo.bar`` stays
+        ``"foo.bar"``), so callers can match both imported and literal
+        spellings with one string compare.
+        """
+        dotted = dotted_name(expr)
+        if dotted is None:
+            return None
+        root, _, rest = dotted.partition(".")
+        resolved_root = self.aliases.get(root, root)
+        return f"{resolved_root}.{rest}" if rest else resolved_root
+
+
+def dotted_name(expr: ast.expr) -> str | None:
+    """``a.b.c`` as a string for Name/Attribute chains, else ``None``."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The called function's dotted spelling (``"np.random.default_rng"``)."""
+    return dotted_name(node.func)
+
+
+def walk_with_parents(
+    tree: ast.AST,
+) -> Iterator[tuple[ast.AST, tuple[ast.AST, ...]]]:
+    """Yield ``(node, parents)`` pairs, parents innermost-last."""
+
+    def visit(
+        node: ast.AST, parents: tuple[ast.AST, ...]
+    ) -> Iterator[tuple[ast.AST, tuple[ast.AST, ...]]]:
+        yield node, parents
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, parents + (node,))
+
+    return visit(tree, ())
+
+
+def iter_parents(
+    parents: tuple[ast.AST, ...], *types: type
+) -> Iterator[ast.AST]:
+    """Enclosing nodes of the given types, innermost first."""
+    for node in reversed(parents):
+        if isinstance(node, types):
+            yield node

@@ -1,0 +1,125 @@
+"""The strictness ratchet: a committed baseline that may only shrink.
+
+A baseline records, per ``rule:path`` bucket, how many findings were
+known (and tolerated) when it was written.  ``--check`` fails when any
+bucket *grows* or a new bucket appears; shrinking is always allowed —
+fix a finding and CI stays green, then ``--write-baseline`` records the
+smaller count so it can never come back.  The zero-tolerance families
+(determinism, registry) ignore the baseline entirely: those findings
+fail ``--check`` even if a stale baseline lists them.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Iterable
+from pathlib import Path
+
+from .findings import ZERO_TOLERANCE_FAMILIES, Finding
+
+__all__ = [
+    "Baseline",
+    "baseline_key",
+    "compare_to_baseline",
+]
+
+_VERSION = 1
+
+
+def baseline_key(finding: Finding) -> str:
+    """The ratchet bucket a finding counts against (line numbers drift)."""
+    return f"{finding.rule}:{finding.path}"
+
+
+class Baseline:
+    """A committed ``rule:path -> tolerated count`` map."""
+
+    def __init__(self, counts: dict[str, int] | None = None) -> None:
+        self.counts: dict[str, int] = dict(counts or {})
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """A baseline tolerating exactly the given findings.
+
+        Zero-tolerance findings are never written into a baseline —
+        they must be fixed, not ratcheted.
+        """
+        counter = Counter(
+            baseline_key(f)
+            for f in findings
+            if f.family not in ZERO_TOLERANCE_FAMILIES
+        )
+        return cls(dict(sorted(counter.items())))
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file, validating its shape."""
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != _VERSION
+            or not isinstance(data.get("counts"), dict)
+        ):
+            raise ValueError(
+                f"{path} is not a version-{_VERSION} analysis baseline"
+            )
+        counts: dict[str, int] = {}
+        for key, value in data["counts"].items():
+            if not isinstance(key, str) or not isinstance(value, int) or value <= 0:
+                raise ValueError(
+                    f"{path}: baseline entry {key!r}: {value!r} is not a "
+                    "positive finding count"
+                )
+            counts[key] = value
+        return cls(counts)
+
+    def dump(self, path: Path) -> None:
+        """Write the baseline as stable, reviewable JSON."""
+        payload = {
+            "version": _VERSION,
+            "comment": (
+                "Findings tolerated by `python -m repro.analysis --check`. "
+                "This file may only shrink: fix a finding, then regenerate "
+                "with --write-baseline. Determinism and registry findings "
+                "are never baselined."
+            ),
+            "counts": dict(sorted(self.counts.items())),
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+
+def compare_to_baseline(
+    findings: Iterable[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[str]]:
+    """Split findings into (blocking, shrunk-bucket notes).
+
+    A finding blocks when its family is zero-tolerance, or when its
+    ``rule:path`` bucket exceeds the baselined count.  Buckets whose
+    live count dropped below the baseline produce advisory notes
+    suggesting a baseline refresh (the ratchet's "only shrink" half is
+    enforced by regenerating the file, not by failing the build).
+    """
+    findings = list(findings)
+    blocking: list[Finding] = []
+    over_budget: Counter[str] = Counter()
+    live: Counter[str] = Counter()
+    for finding in findings:
+        if finding.family in ZERO_TOLERANCE_FAMILIES:
+            blocking.append(finding)
+            continue
+        key = baseline_key(finding)
+        live[key] += 1
+        if live[key] > baseline.counts.get(key, 0):
+            blocking.append(finding)
+            over_budget[key] += 1
+    notes = [
+        f"baseline bucket {key} tolerates {allowed} finding(s) but only "
+        f"{live.get(key, 0)} remain — shrink it with --write-baseline"
+        for key, allowed in sorted(baseline.counts.items())
+        if live.get(key, 0) < allowed
+    ]
+    return blocking, notes

@@ -1,0 +1,135 @@
+"""Deprecation containment rules (REP-X): shims never re-grow roots.
+
+PR 5 left the legacy entry points (``sharded_consume``, per-class
+``consume``, direct ``TemporalQueryEngine`` construction) in place as
+warning shims.  The engine and everything under it must never route
+through them again — otherwise the warning fires inside library code
+and, worse, the deprecated surface regains load-bearing callers.  These
+are whole-project rules: shims are discovered in a first pass over
+every module, then call sites are checked in a second.
+
+Rules
+-----
+REP-X001
+    A call to a deprecation shim (any function/method whose body calls
+    ``warn_deprecated``, or a class whose ``__init__`` does) from a
+    ``src/`` module other than the one defining it.  Method-name shims
+    that collide with a same-named *non-shim* callable elsewhere in the
+    tree are skipped rather than guessed at — the rule reports only
+    unambiguous regressions.
+REP-X002
+    A direct ``warnings.warn(..., DeprecationWarning)`` outside
+    ``api/deprecation.py`` — every deprecation goes through
+    ``warn_deprecated`` so the message format and stacklevel policy
+    live in exactly one place.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .astutil import ImportMap, dotted_name
+from .findings import FAMILY_DEPRECATION, Finding
+
+__all__ = ["DEPRECATION_HOME", "check_project"]
+
+#: The one module allowed to emit DeprecationWarning directly.
+DEPRECATION_HOME = "api/deprecation.py"
+
+
+def _calls_warn_deprecated(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func) or ""
+            if name == "warn_deprecated" or name.endswith(".warn_deprecated"):
+                return True
+    return False
+
+
+def _collect_shims(
+    modules: dict[str, ast.Module],
+) -> tuple[dict[str, set[str]], set[str]]:
+    """First pass: names of shim callables and of non-shim collisions.
+
+    Returns ``(shims, non_shims)`` where ``shims`` maps a callable name
+    to the modules defining it as a shim, and ``non_shims`` holds every
+    name also defined as a regular (non-warning) function/method
+    somewhere — those are ambiguous at a call site and skipped.
+    """
+    shims: dict[str, set[str]] = {}
+    non_shims: set[str] = set()
+    for relpath, tree in modules.items():
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    if not isinstance(
+                        stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        continue
+                    is_shim = _calls_warn_deprecated(stmt)
+                    # A shim __init__ makes the *class name* the shim:
+                    # the deprecated act is constructing the object.
+                    name = node.name if stmt.name == "__init__" else stmt.name
+                    if is_shim:
+                        shims.setdefault(name, set()).add(relpath)
+                    elif stmt.name != "__init__":
+                        non_shims.add(stmt.name)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _calls_warn_deprecated(node):
+                    shims.setdefault(node.name, set()).add(relpath)
+                else:
+                    non_shims.add(node.name)
+    return shims, non_shims
+
+
+def check_project(modules: dict[str, ast.Module]) -> Iterator[Finding]:
+    """Run the whole-project deprecation rules.
+
+    ``modules`` maps source-root-relative POSIX paths to parsed trees.
+    """
+    shims, non_shims = _collect_shims(modules)
+    flaggable = {
+        name: defining
+        for name, defining in shims.items()
+        if name not in non_shims
+    }
+    for relpath, tree in modules.items():
+        imports = ImportMap(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            called = dotted_name(node.func)
+            if called is not None and relpath != DEPRECATION_HOME:
+                resolved = imports.resolve(node.func) or called
+                leaf = called.split(".")[-1]
+                if (
+                    leaf == "warn"
+                    and resolved in ("warnings.warn", "warn")
+                    and any(
+                        (dotted_name(arg) or "").endswith("DeprecationWarning")
+                        for arg in list(node.args) + [
+                            kw.value for kw in node.keywords
+                        ]
+                    )
+                ):
+                    yield Finding(
+                        relpath, node.lineno, "REP-X002", FAMILY_DEPRECATION,
+                        "DeprecationWarning emitted directly; route it "
+                        "through api/deprecation.warn_deprecated so the "
+                        "policy lives in one place",
+                    )
+            if called is None:
+                continue
+            leaf = called.split(".")[-1]
+            defining = flaggable.get(leaf)
+            if not defining or relpath in defining:
+                continue
+            if relpath == DEPRECATION_HOME:
+                continue
+            yield Finding(
+                relpath, node.lineno, "REP-X001", FAMILY_DEPRECATION,
+                f"call to deprecated shim {leaf}() (defined in "
+                f"{', '.join(sorted(defining))}) from library code — "
+                "library internals must use the GraphSketchEngine surface",
+            )

@@ -1,0 +1,158 @@
+"""API hygiene rules (REP-H): annotations, excepts, frozen dataclasses.
+
+The engine facade is the public contract of the repo; the exception
+hierarchy is the error contract.  These rules keep both honest: public
+API callables carry complete type annotations (the mypy ratchet depends
+on it), no handler silently swallows everything, and frozen dataclasses
+stay frozen outside their construction hooks.
+
+Rules
+-----
+REP-H001
+    A public (non-underscore) function/method in the public-surface
+    directories (``api/``, ``analysis/``, ``errors.py``) missing a
+    parameter or return annotation.
+REP-H002
+    A bare ``except:`` anywhere in ``src/``, or an ``except`` handler
+    whose entire body is ``pass`` (a silent swallow).
+REP-H003
+    Mutation of a frozen dataclass: ``self.attr = ...`` in a method of
+    a class decorated ``@dataclass(frozen=True)``, or
+    ``object.__setattr__`` outside the construction hooks
+    (``__init__``/``__post_init__``/``__new__``) where frozen
+    dataclasses legitimately use it.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .astutil import ImportMap, dotted_name, iter_parents, walk_with_parents
+from .findings import FAMILY_HYGIENE, Finding
+
+__all__ = ["ANNOTATED_PATHS", "check_module"]
+
+#: Paths whose public callables must be fully annotated (REP-H001).
+ANNOTATED_PATHS = ("api/", "analysis/", "errors.py")
+
+_CONSTRUCTION_HOOKS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+def _is_frozen_dataclass(node: ast.ClassDef, imports: ImportMap) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        resolved = imports.resolve(target) or dotted_name(target) or ""
+        if resolved not in ("dataclasses.dataclass", "dataclass"):
+            continue
+        if not isinstance(deco, ast.Call):
+            return False  # bare @dataclass: frozen defaults to False
+        for kw in deco.keywords:
+            if kw.arg == "frozen":
+                return (
+                    isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                )
+        return False
+    return False
+
+
+def _missing_annotations(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    missing: list[str] = []
+    args = fn.args
+    positional = list(args.posonlyargs) + list(args.args)
+    is_method = bool(positional) and positional[0].arg in ("self", "cls")
+    for arg in positional[1 if is_method else 0:] + list(args.kwonlyargs):
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append("**" + args.kwarg.arg)
+    if fn.returns is None:
+        missing.append("return")
+    return missing
+
+
+def check_module(
+    relpath: str, tree: ast.Module, imports: ImportMap
+) -> Iterator[Finding]:
+    """Run every hygiene rule over one parsed module."""
+    annotations_required = relpath.startswith(ANNOTATED_PATHS)
+
+    frozen_classes: set[ast.ClassDef] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and _is_frozen_dataclass(node, imports):
+            frozen_classes.add(node)
+
+    for node, parents in walk_with_parents(tree):
+        if isinstance(node, ast.ExceptHandler):
+            if node.type is None:
+                yield Finding(
+                    relpath, node.lineno, "REP-H002", FAMILY_HYGIENE,
+                    "bare except: catches SystemExit/KeyboardInterrupt too; "
+                    "name the exception types",
+                )
+            elif all(isinstance(stmt, ast.Pass) for stmt in node.body):
+                yield Finding(
+                    relpath, node.lineno, "REP-H002", FAMILY_HYGIENE,
+                    "except handler silently swallows the exception "
+                    "(body is just pass); handle it or let it propagate",
+                )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not annotations_required or node.name.startswith("_"):
+                continue
+            enclosing_defs = list(
+                iter_parents(parents, ast.FunctionDef, ast.AsyncFunctionDef)
+            )
+            if enclosing_defs:
+                continue  # nested helpers are implementation detail
+            owner = next(iter(iter_parents(parents, ast.ClassDef)), None)
+            if owner is not None and owner.name.startswith("_"):
+                continue
+            missing = _missing_annotations(node)
+            if missing:
+                where = f"{owner.name}.{node.name}" if owner else node.name
+                yield Finding(
+                    relpath, node.lineno, "REP-H001", FAMILY_HYGIENE,
+                    f"public callable {where}() is missing annotations for: "
+                    f"{', '.join(missing)} — the public surface must be "
+                    "fully typed",
+                )
+        elif isinstance(node, ast.Assign):
+            owner = next(iter(iter_parents(parents, ast.ClassDef)), None)
+            if owner is None or owner not in frozen_classes:
+                continue
+            method = next(
+                iter(iter_parents(parents, ast.FunctionDef, ast.AsyncFunctionDef)),
+                None,
+            )
+            if method is None or method.name in _CONSTRUCTION_HOOKS:
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    yield Finding(
+                        relpath, node.lineno, "REP-H003", FAMILY_HYGIENE,
+                        f"method {owner.name}.{method.name}() assigns "
+                        f"self.{target.attr} on a frozen dataclass — this "
+                        "raises FrozenInstanceError at runtime",
+                    )
+        elif isinstance(node, ast.Call):
+            resolved = dotted_name(node.func)
+            if resolved != "object.__setattr__":
+                continue
+            method = next(
+                iter(iter_parents(parents, ast.FunctionDef, ast.AsyncFunctionDef)),
+                None,
+            )
+            if method is not None and method.name in _CONSTRUCTION_HOOKS:
+                continue
+            yield Finding(
+                relpath, node.lineno, "REP-H003", FAMILY_HYGIENE,
+                "object.__setattr__ outside __init__/__post_init__/__new__ "
+                "mutates a frozen object behind the type checker's back",
+            )

@@ -1,0 +1,126 @@
+"""Hot-path purity rules (REP-P): batched ingestion, pickling at seams only.
+
+PR 1 made columnar ``consume_batch``/``ingest_batch`` the only
+sanctioned ingestion path (25–60× over per-token loops); PR 4 made the
+arena codec the only sanctioned byte format.  Code that quietly loops
+``update()``/``consume()`` over individual stream tokens, or pickles
+sketch state outside the process-spawn seam, re-opens exactly the
+performance and compatibility holes those PRs closed.
+
+Rules
+-----
+REP-P001
+    A ``for``/``while`` loop over a stream-like iterable (an expression
+    mentioning ``updates``/``stream``/``tokens``) whose body feeds the
+    loop variable to ``.update()`` or ``.consume()`` — the per-token
+    anti-pattern.  Applies to the hot-path directories (``sketch/``,
+    ``core/``, ``distributed/``, ``temporal/``, ``api/``); the scalar
+    reference fallback in ``sketch/base.py`` is exempt by design.
+REP-P002
+    ``pickle``/``cPickle``/``dill`` imported or used outside the
+    sanctioned process-spawn seam (``distributed/coordinator.py``,
+    ``distributed/factories.py``).  Sketch bytes travel through the
+    versioned codec, never through pickle.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .astutil import ImportMap, dotted_name, iter_parents, walk_with_parents
+from .findings import FAMILY_PURITY, Finding
+
+__all__ = ["HOT_PATH_DIRS", "PICKLE_SEAMS", "check_module"]
+
+#: Directories where per-token ingestion loops are forbidden.
+HOT_PATH_DIRS = ("sketch/", "core/", "distributed/", "temporal/", "api/")
+
+#: Files allowed to touch pickle (the multiprocessing spawn seam).
+PICKLE_SEAMS = ("distributed/coordinator.py", "distributed/factories.py")
+
+#: Files exempt from REP-P001 (documented scalar reference fallbacks).
+_P001_EXEMPT = ("sketch/base.py",)
+
+_PICKLE_MODULES = frozenset({"pickle", "cPickle", "dill"})
+
+_STREAMISH_FRAGMENTS = ("stream", "updates", "tokens")
+
+_PER_TOKEN_METHODS = frozenset({"update", "consume"})
+
+
+def _is_streamish(expr: ast.expr) -> bool:
+    """Does the iterable expression look like a stream of tokens?"""
+    dotted = dotted_name(expr)
+    if dotted is None:
+        # stream.updates()[...] , list(stream) , stream.updates() ...
+        for node in ast.walk(expr):
+            sub = dotted_name(node) if isinstance(node, ast.expr) else None
+            if sub and any(f in sub.lower() for f in _STREAMISH_FRAGMENTS):
+                return True
+        return False
+    return any(f in dotted.lower() for f in _STREAMISH_FRAGMENTS)
+
+
+def _loop_target_names(target: ast.expr) -> frozenset[str]:
+    return frozenset(
+        node.id for node in ast.walk(target) if isinstance(node, ast.Name)
+    )
+
+
+def check_module(
+    relpath: str, tree: ast.Module, imports: ImportMap
+) -> Iterator[Finding]:
+    """Run both purity rules over one parsed module."""
+    in_hot_path = relpath.startswith(HOT_PATH_DIRS) and not relpath.startswith(
+        _P001_EXEMPT
+    )
+    pickle_allowed = relpath.startswith(PICKLE_SEAMS)
+
+    for node, parents in walk_with_parents(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)) and not pickle_allowed:
+            module = node.module if isinstance(node, ast.ImportFrom) else None
+            names = [alias.name for alias in node.names]
+            roots = (
+                {(module or "").split(".")[0]}
+                if isinstance(node, ast.ImportFrom)
+                else {name.split(".")[0] for name in names}
+            )
+            if roots & _PICKLE_MODULES:
+                yield Finding(
+                    relpath, node.lineno, "REP-P002", FAMILY_PURITY,
+                    "pickle imported outside the sanctioned process-spawn "
+                    f"seam ({', '.join(PICKLE_SEAMS)}); sketch bytes travel "
+                    "through the versioned codec, never pickle",
+                )
+        elif isinstance(node, ast.Call) and not pickle_allowed:
+            resolved = imports.resolve(node.func)
+            if resolved and resolved.split(".")[0] in _PICKLE_MODULES:
+                yield Finding(
+                    relpath, node.lineno, "REP-P002", FAMILY_PURITY,
+                    f"{resolved}() called outside the sanctioned "
+                    "process-spawn seam; use dump_sketch/load_sketch",
+                )
+        if (
+            in_hot_path
+            and isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _PER_TOKEN_METHODS
+        ):
+            arg_names = {
+                arg.id for arg in node.args if isinstance(arg, ast.Name)
+            }
+            if not arg_names:
+                continue
+            for loop in iter_parents(parents, ast.For):
+                assert isinstance(loop, ast.For)
+                if not _is_streamish(loop.iter):
+                    continue
+                if arg_names & _loop_target_names(loop.target):
+                    yield Finding(
+                        relpath, node.lineno, "REP-P001", FAMILY_PURITY,
+                        f".{node.func.attr}() called once per stream token "
+                        "inside a loop — use the columnar consume_batch/"
+                        "ingest_batch path (25-60x faster, same bytes)",
+                    )
+                    break

@@ -29,6 +29,7 @@ from .queries import (
     MinCutQueryResult,
     PropertiesResult,
     Query,
+    QueryResult,
     SparsifierResult,
     SubgraphCountQuery,
     SubgraphCountResult,
@@ -158,7 +159,9 @@ _HANDLERS = {
 }
 
 
-def answer_query(capability: str, sketch: Any, query: Query):
+def answer_query(
+    capability: str, sketch: Any, query: Query
+) -> "tuple[type[QueryResult], dict[str, Any]]":
     """Dispatch ``query`` on ``sketch``; returns ``(result_cls, fields)``.
 
     ``spanner-distance`` is handled by the engine itself (it needs the

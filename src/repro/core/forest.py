@@ -214,7 +214,7 @@ class SpanningForestSketch(ArenaBacked):
                 break
             merged_any = False
             decode_failed = False
-            for root, members in components.items():
+            for members in components.values():
                 try:
                     item, value = self.bank.sample_sum(t, members)
                 except SamplerFailed as err:

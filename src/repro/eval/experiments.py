@@ -338,6 +338,7 @@ def run_e8_primitives(quick: bool = True, seed: int = 0) -> Table:
     # (b) k-RECOVERY: success below capacity, honest FAIL above.
     k = 16
     ok_below = 0
+    fail_below = 0
     runs = 20 if quick else 100
     rng = np.random.default_rng(seed)
     for r in range(runs):
@@ -348,7 +349,7 @@ def run_e8_primitives(quick: bool = True, seed: int = 0) -> Table:
             if sr.decode() == {int(i): 1 for i in items}:
                 ok_below += 1
         except RecoveryFailed:
-            pass
+            fail_below += 1
     fail_above = 0
     for r in range(runs):
         sr = SparseRecovery(domain, k=k, source=src.derive(3, r))
@@ -360,6 +361,8 @@ def run_e8_primitives(quick: bool = True, seed: int = 0) -> Table:
             fail_above += 1
     table.add_row("k-recovery", f"k={k}, support=k", "exact-decode rate",
                   ok_below / runs)
+    table.add_row("k-recovery", f"k={k}, support=k", "FAIL rate (δ)",
+                  fail_below / runs)
     table.add_row("k-recovery", f"k={k}, support=4k", "honest-FAIL rate",
                   fail_above / runs)
 

@@ -60,6 +60,7 @@ __all__ = [
     "SketchCodec",
     "register_sketch_codec",
     "serializable_sketch_kinds",
+    "sketch_codec",
     "sketch_kind_of",
     "dump_sketch",
     "load_sketch",
@@ -342,6 +343,23 @@ def serializable_sketch_kinds() -> tuple[str, ...]:
     return tuple(sorted(_CODECS_BY_KIND))
 
 
+def sketch_codec(kind: str) -> SketchCodec:
+    """The registered codec for ``kind`` (raises ``KeyError`` if none).
+
+    Public so tooling — the registry-completeness checker in
+    :mod:`repro.analysis` in particular — can cross-check the codec
+    registry against the capability registry without reaching into
+    module privates.
+    """
+    _ensure_codecs_loaded()
+    if kind not in _CODECS_BY_KIND:
+        raise KeyError(
+            f"no codec registered for sketch kind {kind!r}; "
+            f"known kinds: {', '.join(sorted(_CODECS_BY_KIND))}"
+        )
+    return _CODECS_BY_KIND[kind]
+
+
 def sketch_kind_of(sketch: Any) -> str:
     """The registered kind name of ``sketch`` (raises ``TypeError`` if none)."""
     _ensure_codecs_loaded()
@@ -619,8 +637,8 @@ def dump_epoch_manifest(
             f"epoch ids {epoch_ids} must be 1..{len(payloads)} in order, "
             f"one per payload"
         )
-    kinds = set()
-    seeds = set()
+    kinds: set[object] = set()
+    seeds: set[object] = set()
     for payload in payloads:
         header = _read_header_any(payload)
         kinds.add(header.get("__kind__"))

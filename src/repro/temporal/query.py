@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from ..errors import RecoveryFailed, SketchFailure
+from ..errors import SketchFailure
 from ..sketch.serialize import load_sketch, subtract_sketch_bytes
 from .epochs import EpochTimeline
 
@@ -209,7 +209,7 @@ def window_answer(sketch: Any) -> dict:
             result["mst_weight"] = sketch.estimate()
         else:
             result["note"] = "no canonical window answer registered"
-    except (SketchFailure, RecoveryFailed) as err:
+    except SketchFailure as err:
         result["answer"] = "FAIL"
         result["reason"] = str(err)
     return result

@@ -1,0 +1,10 @@
+"""Fixture: library code regressing onto the deprecated surface."""
+
+import warnings
+
+from .legacy import old_path
+
+
+def do_work(x):
+    warnings.warn("do_work is old", DeprecationWarning)   # REP-X002
+    return old_path(x)                                    # REP-X001

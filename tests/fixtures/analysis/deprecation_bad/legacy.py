@@ -1,0 +1,8 @@
+"""Fixture: a legacy entry point kept as a warning shim."""
+
+from .api.deprecation import warn_deprecated
+
+
+def old_path(x):
+    warn_deprecated("old_path()", "new_path()")
+    return x

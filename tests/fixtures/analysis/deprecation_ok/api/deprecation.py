@@ -1,0 +1,7 @@
+"""Fixture: the (mini) deprecation home module — the one legal warn site."""
+
+import warnings
+
+
+def warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(f"{old} -> {new}", DeprecationWarning, stacklevel=3)

@@ -1,0 +1,12 @@
+"""Fixture: library code on the new surface; the shim goes uncalled."""
+
+from .api.deprecation import warn_deprecated
+
+
+def old_path(x):
+    warn_deprecated("old_path()", "new_path()")
+    return new_path(x)                   # shim may call forward, same module
+
+
+def new_path(x):
+    return x

@@ -1,0 +1,16 @@
+"""Fixture: every determinism rule violated (REP-D001..D004)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def build_levels(n):
+    rng = np.random.default_rng()          # REP-D001: unseeded
+    jitter = random.random()               # REP-D002: process-global RNG
+    stamp = time.time()                    # REP-D003: wall clock on sketch path
+    order = []
+    for kind in {"phi", "iota", "fp"}:     # REP-D004: set iteration order
+        order.append(kind)
+    return rng, jitter, stamp, order

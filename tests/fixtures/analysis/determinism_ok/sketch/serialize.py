@@ -1,0 +1,14 @@
+"""Fixture: the deterministic spellings of everything determinism_bad does."""
+
+import time
+
+import numpy as np
+
+
+def build_levels(n, seed):
+    rng = np.random.default_rng(seed)      # seeded: fine
+    t0 = time.perf_counter()               # monotonic timing: fine
+    order = []
+    for kind in sorted({"phi", "iota", "fp"}):   # sorted set: fine
+        order.append(kind)
+    return rng, time.perf_counter() - t0, order

@@ -1,0 +1,21 @@
+"""Fixture: API hygiene violations (REP-H001/H002/H003)."""
+
+from dataclasses import dataclass
+
+
+def lookup(kind, default=None):          # REP-H001: unannotated public fn
+    try:
+        return {"a": 1}[kind]
+    except:                              # REP-H002: bare except
+        return default
+
+
+@dataclass(frozen=True)
+class FrozenSpec:
+    kind: str
+
+    def rename(self, kind: str) -> None:
+        self.kind = kind                 # REP-H003: frozen mutation
+
+    def sneak(self, kind: str) -> None:
+        object.__setattr__(self, "kind", kind)   # REP-H003: backdoor

@@ -1,0 +1,21 @@
+"""Fixture: the hygienic spellings of everything hygiene_bad does."""
+
+from dataclasses import dataclass, replace
+
+
+def lookup(kind: str, default: "int | None" = None) -> "int | None":
+    try:
+        return {"a": 1}[kind]
+    except KeyError:
+        return default
+
+
+@dataclass(frozen=True)
+class FrozenSpec:
+    kind: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", self.kind.strip())  # ctor hook: fine
+
+    def rename(self, kind: str) -> "FrozenSpec":
+        return replace(self, kind=kind)

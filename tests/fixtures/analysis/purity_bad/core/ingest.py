@@ -1,0 +1,9 @@
+"""Fixture: hot-path purity violations (REP-P001/P002)."""
+
+import pickle  # REP-P002: pickle outside the process-spawn seam
+
+
+def ingest_all(sketch, stream):
+    for upd in stream.updates():
+        sketch.update(upd)               # REP-P001: per-token ingestion loop
+    return pickle.dumps(sketch)          # REP-P002: pickled sketch bytes

@@ -1,0 +1,6 @@
+"""Fixture: the sanctioned columnar ingestion spelling."""
+
+
+def ingest_all(sketch, stream):
+    sketch.consume_batch(stream.as_batch())
+    return sketch

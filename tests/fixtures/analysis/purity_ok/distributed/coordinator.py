@@ -1,0 +1,7 @@
+"""Fixture: pickle is legal at the process-spawn seam."""
+
+import pickle
+
+
+def ship_spec(spec):
+    return pickle.dumps(spec)

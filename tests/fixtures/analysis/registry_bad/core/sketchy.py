@@ -1,0 +1,20 @@
+"""Fixture: structurally half-registered sketch classes (REP-R004/R005)."""
+
+from repro.sketch import ArenaBacked
+
+
+def _caps_from_config():
+    return frozenset({"connectivity"})
+
+
+class HalfRegisteredSketch(ArenaBacked):
+    # REP-R004: ArenaBacked subclass with no _cell_banks() override.
+    CAPABILITIES = frozenset({"connectivity"})
+
+
+class DynamicCapsSketch(ArenaBacked):
+    # REP-R005: CAPABILITIES is not a literal frozenset of strings.
+    CAPABILITIES = _caps_from_config()
+
+    def _cell_banks(self):
+        return []

@@ -78,7 +78,7 @@ class TestL0BankSerialization:
             load_recovery_bank(blob)
 
     def test_garbage_rejected(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValueError):
             load_l0_bank(b"not a sketch")
 
     def test_explicit_seed_override(self):
