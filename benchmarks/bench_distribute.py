@@ -2,12 +2,27 @@
 
 Times the :class:`~repro.distributed.ShardedSketchRunner` on the
 standard workloads at ``K = 4`` sites: once with in-process sequential
-site execution and once with a ``multiprocessing`` pool.  Both modes
-produce bit-identical coordinator sketches (pinned by
+site execution and once on the persistent shared-memory worker pool.
+Both modes produce bit-identical coordinator sketches (pinned by
 ``tests/test_distributed_equivalence.py``); here we check the *systems*
-claims — per-site payloads are reported, and the pool run must be no
-slower than the sequential run (the sites' consume work dominates the
-process/pickling overhead on the hierarchy sketches).
+claims:
+
+* ``process_cold_s`` pays pool spawn + segment creation (first run);
+  ``process_s`` is the warm steady state every subsequent
+  ``run()``/``run_epochs()`` on the same runner sees — that is the
+  number the gates judge, because a deployment amortises startup.
+* ``parallel_not_slower_*`` — warm process mode must beat sequential
+  even on one core: workers fold deltas in place and ship ``(site,
+  nbytes, seconds)`` handles, skipping sequential's per-site
+  serialise → verify → inflate round-trip entirely.
+* ``scaling_k4_*`` — warm speed-up at K=4 must reach ``0.7 × min(K,
+  cores)``: the ≥0.7×K scaling claim on machines with ≥K cores,
+  degrading honestly to 0.7 on a 1-core runner.  A K=2 row is recorded
+  alongside for the scaling trend.
+
+Gates are enforced by default (quick/CI runs included).  On runners
+too constrained to amortise pool overhead, ``--no-enforce`` records
+telemetry without failing the build — the documented escape hatch.
 """
 
 from __future__ import annotations
@@ -37,57 +52,74 @@ def _available_cores() -> int:
     return os.cpu_count() or 1
 
 
+def _scaling_threshold() -> float:
+    """0.7 × the core-bounded ideal speed-up at K=4."""
+    return round(0.7 * min(SITES, _available_cores()), 2)
+
+
 @pytest.fixture(scope="module")
-def distribute_table(quick):
+def distribute_table(quick, enforce):
     table = Table(
         "DISTRIBUTE: K=4 sharded runs — bytes shipped and wall-clock by mode",
         ["sketch", "tokens", "bytes/site (max)", "sequential s",
-         "process s", "parallel ×"],
+         "cold s", "warm s", "× (K=4)", "× (K=2)"],
     )
     yield table
     table.add_note(
-        f"Measured with {_available_cores()} CPU core(s) available; the "
-        f"parallel ≤1.0× sequential gate is enforced only with ≥{SITES} "
-        "cores (below that, pool overhead cannot be amortised)."
+        f"Measured with {_available_cores()} CPU core(s); 'warm s' reuses "
+        "the persistent pool + shared segments ('cold s' includes their "
+        "creation).  Gates: warm ≥ sequential and ≥0.7×min(K, cores) "
+        "scaling at K=4"
+        + ("." if enforce else " — recorded only (--no-enforce).")
     )
     print_table(table, name=None if quick else "distribute")
-    # The parallel-speedup gate measures hardware, not code: CI's
-    # shared 4-vCPU runners cannot amortise pool overhead reliably, so
-    # quick (telemetry) runs record the ratio without enforcing it.
-    enforced = not quick and _available_cores() >= SITES
-    write_bench_json(
-        "distribute",
-        rows=_ROWS,
-        gates=[{
+    gates = []
+    for row in _ROWS:
+        gates.append({
             "name": f"parallel_not_slower_{row['sketch']}",
             "value": round(row["parallel_ratio"], 3),
             "threshold": 1.0,
-            "enforced": enforced,
-            "pass": bool(not enforced or row["parallel_ratio"] >= 1.0),
-        } for row in _ROWS],
-        quick=quick,
-    )
+            "enforced": enforce,
+            "pass": bool(not enforce or row["parallel_ratio"] >= 1.0),
+        })
+        gates.append({
+            "name": f"scaling_k4_{row['sketch']}",
+            "value": round(row["parallel_ratio"], 3),
+            "threshold": _scaling_threshold(),
+            "enforced": enforce,
+            "pass": bool(
+                not enforce or row["parallel_ratio"] >= _scaling_threshold()
+            ),
+        })
+    write_bench_json("distribute", rows=_ROWS, gates=gates, quick=quick)
+
+
+def _timed_run(runner, stream):
+    t0 = time.perf_counter()
+    report = runner.run(stream)
+    return report, time.perf_counter() - t0
 
 
 def _run_modes(factory, stream):
-    sequential = ShardedSketchRunner(factory, sites=SITES, mode="sequential")
-    t0 = time.perf_counter()
-    seq_report = sequential.run(stream)
-    seq_s = time.perf_counter() - t0
+    """Sequential vs cold/warm process runs at K=4, plus a warm K=2 run."""
+    seq_runner = ShardedSketchRunner(factory, sites=SITES, mode="sequential")
+    seq_report, seq_s = _timed_run(seq_runner, stream)
 
-    parallel = ShardedSketchRunner(factory, sites=SITES, mode="process")
-    t0 = time.perf_counter()
-    par_report = parallel.run(stream)
-    par_s = time.perf_counter() - t0
-    if par_s > seq_s:
-        # One scheduling hiccup in a single timed run shouldn't fail the
-        # gate; give the pool a second chance and keep the best time.
-        t0 = time.perf_counter()
-        par_report = parallel.run(stream)
-        par_s = min(par_s, time.perf_counter() - t0)
+    with ShardedSketchRunner(factory, sites=SITES, mode="process") as parallel:
+        par_report, cold_s = _timed_run(parallel, stream)
+        # Steady state: the pool, the workers' warm sketches, and the
+        # shared segments all exist — best of two to shrug off one
+        # scheduling hiccup.
+        par_report, warm_a = _timed_run(parallel, stream)
+        _, warm_b = _timed_run(parallel, stream)
+        warm_s = min(warm_a, warm_b)
+        assert dump_sketch(seq_report.sketch) == dump_sketch(par_report.sketch)
 
-    assert dump_sketch(seq_report.sketch) == dump_sketch(par_report.sketch)
-    return seq_report, seq_s, par_s
+    with ShardedSketchRunner(factory, sites=2, mode="process") as two_site:
+        two_site.run(stream)
+        _, warm2_s = _timed_run(two_site, stream)
+
+    return seq_report, seq_s, cold_s, warm_s, warm2_s
 
 
 @pytest.mark.parametrize(
@@ -95,27 +127,36 @@ def _run_modes(factory, stream):
     [("mincut", mincut_sketch), ("simple-sparsifier", sparsifier_sketch)],
 )
 def test_bench_distribute_modes(
-    benchmark, seed, quick, distribute_table, name, maker
+    benchmark, seed, quick, enforce, distribute_table, name, maker
 ):
     wl = make_workload("er-small", seed=seed)
     n = wl.graph.n
     factory = functools.partial(maker, n, seed + 17)
-    seq_report, seq_s, par_s = _run_modes(factory, wl.stream)
+    seq_report, seq_s, cold_s, warm_s, warm2_s = _run_modes(factory, wl.stream)
+    ratio = seq_s / warm_s
+    ratio2 = seq_s / warm2_s
     distribute_table.add_row(
         name, len(wl.stream), seq_report.max_payload_bytes,
-        round(seq_s, 3), round(par_s, 3), round(seq_s / par_s, 2),
+        round(seq_s, 3), round(cold_s, 3), round(warm_s, 3),
+        round(ratio, 2), round(ratio2, 2),
     )
     _ROWS.append({
         "sketch": name, "tokens": len(wl.stream),
         "max_payload_bytes": seq_report.max_payload_bytes,
         "total_payload_bytes": seq_report.total_payload_bytes,
-        "sequential_s": seq_s, "process_s": par_s,
-        "parallel_ratio": seq_s / par_s,
+        "sequential_s": seq_s, "process_cold_s": cold_s,
+        "process_s": warm_s, "process_k2_s": warm2_s,
+        "parallel_ratio": ratio, "parallel_ratio_k2": ratio2,
+        "cores": _available_cores(),
     })
-    if not quick and _available_cores() >= SITES:
-        assert par_s <= seq_s * 1.0, (
-            f"process mode ({par_s:.2f}s) slower than sequential "
+    if enforce:
+        assert warm_s <= seq_s, (
+            f"warm process mode ({warm_s:.2f}s) slower than sequential "
             f"({seq_s:.2f}s) at K={SITES}"
+        )
+        assert ratio >= _scaling_threshold(), (
+            f"K={SITES} speed-up {ratio:.2f}× below the scaling gate "
+            f"{_scaling_threshold()}× (0.7 × min(K, cores))"
         )
     if not quick:
         benchmark.pedantic(

@@ -39,12 +39,25 @@ def pytest_addoption(parser) -> None:
         default=False,
         help="trimmed benchmark workloads for CI perf telemetry",
     )
+    parser.addoption(
+        "--no-enforce",
+        action="store_true",
+        default=False,
+        help="record benchmark gates as telemetry without failing on "
+             "them (escape hatch for constrained runners)",
+    )
 
 
 @pytest.fixture(scope="session")
 def quick(request) -> bool:
     """Whether the run is in CI-telemetry quick mode."""
     return bool(request.config.getoption("--quick"))
+
+
+@pytest.fixture(scope="session")
+def enforce(request) -> bool:
+    """Whether hardware-sensitive gates fail the run (default: yes)."""
+    return not request.config.getoption("--no-enforce")
 
 
 def write_bench_json(

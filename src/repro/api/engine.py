@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import functools
 import time
+from types import TracebackType
 from typing import Any
 
 from ..distributed.coordinator import EXECUTION_MODES, ShardedSketchRunner
@@ -104,6 +105,8 @@ class GraphSketchEngine:
         self._partition_seed: int = 0
         self._mode: str = "sequential"
         self._processes: int | None = None
+        self._start_method: str | None = None
+        self._runner_obj: ShardedSketchRunner | None = None
         self._temporal: bool = False
         self._epoch_count: int | None = None
         self._epoch_boundaries: tuple[int, ...] | None = None
@@ -185,9 +188,21 @@ class GraphSketchEngine:
         return self
 
     def workers(
-        self, mode: str = "sequential", processes: int | None = None
+        self,
+        mode: str = "sequential",
+        processes: int | None = None,
+        start_method: str | None = None,
     ) -> "GraphSketchEngine":
-        """Pick the site execution mode (``"sequential"``/``"process"``)."""
+        """Pick the site execution mode (``"sequential"``/``"process"``).
+
+        ``mode="process"`` runs sites on one persistent shared-memory
+        worker pool, reused across every ingest on this engine;
+        ``processes`` sizes it (default: ``min(sites, CPUs)``) and
+        ``start_method`` overrides the ``"spawn"`` default
+        (``"forkserver"`` is the documented Linux fast path).  Release
+        the pool and its shared segments with :meth:`close` or by using
+        the engine as a context manager.
+        """
         self._require_unstarted("workers")
         if mode not in EXECUTION_MODES:
             raise NotSupportedError(
@@ -200,8 +215,14 @@ class GraphSketchEngine:
                 "build is a coordinator-driven round protocol and does not "
                 "run sites in worker processes"
             )
+        if processes is not None and processes < 1:
+            raise ValueError(
+                f"processes must be >= 1, got {processes} (omit it for "
+                "the min(sites, cpus) default)"
+            )
         self._mode = mode
         self._processes = processes
+        self._start_method = start_method
         return self
 
     # -- introspection ----------------------------------------------------------
@@ -259,16 +280,46 @@ class GraphSketchEngine:
         return functools.partial(build_sketch, self.spec)
 
     def _runner(self) -> ShardedSketchRunner:
-        """The configured sharded runner (one construction for both
-        the linear and the temporal ingestion paths)."""
-        return ShardedSketchRunner(
-            self._factory(),
-            sites=self._sites,
-            strategy=self._strategy,
-            mode=self._mode,
-            seed=self._partition_seed,
-            processes=self._processes,
-        )
+        """The configured sharded runner, built once and reused.
+
+        Reuse is what makes repeated process-mode ingests cheap: the
+        runner keeps its worker pool and shared segments warm across
+        ``ingest()`` calls.  :meth:`close` releases them (and drops the
+        runner, so a later ingest transparently builds a fresh one).
+        """
+        if self._runner_obj is None:
+            self._runner_obj = ShardedSketchRunner(
+                self._factory(),
+                sites=self._sites,
+                strategy=self._strategy,
+                mode=self._mode,
+                seed=self._partition_seed,
+                processes=self._processes,
+                start_method=self._start_method,
+            )
+        return self._runner_obj
+
+    def close(self) -> None:
+        """Release process-mode resources (worker pool, shared segments).
+
+        Safe on any engine (a no-op outside process mode) and
+        idempotent; the engine stays queryable — only the execution
+        resources are torn down, to be lazily rebuilt if needed.
+        """
+        runner, self._runner_obj = self._runner_obj, None
+        if runner is not None:
+            runner.close()
+
+    def __enter__(self) -> "GraphSketchEngine":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
 
     def _require_manual_temporal(self, what: str) -> None:
         """Manual epoch sealing is local-only and pre-restore-only."""

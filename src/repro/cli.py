@@ -155,6 +155,9 @@ def _cmd_distribute(args: argparse.Namespace) -> int:
     if args.sites < 1:
         print("error: --sites must be >= 1", file=sys.stderr)
         return 2
+    if args.processes is not None and args.processes < 1:
+        print("error: --processes must be >= 1", file=sys.stderr)
+        return 2
     if args.strategy not in PARTITION_STRATEGIES:
         print(
             f"error: unknown strategy {args.strategy!r} "
@@ -174,10 +177,13 @@ def _cmd_distribute(args: argparse.Namespace) -> int:
     stream_bytes = 24 * len(stream) // args.sites
     print(f"shipping the raw stream would cost ~{stream_bytes} bytes per site")
 
-    def deploy(spec):
+    def deploy(spec, mode=None):
+        # Adaptive spanners run a coordinator-driven round protocol and
+        # refuse process workers — their deploys stay sequential even
+        # under --mode process.
         return (GraphSketchEngine.for_spec(spec)
                 .sharded(sites=args.sites, strategy=args.strategy, seed=seed)
-                .workers(mode=args.mode)
+                .workers(mode=mode or args.mode, processes=args.processes)
                 .ingest(stream))
 
     def sparsifier_answer(result):
@@ -196,16 +202,19 @@ def _cmd_distribute(args: argparse.Namespace) -> int:
          sparsifier_answer),
     ]
     for name, spec, query, fmt in runs:
-        engine = deploy(spec)
-        report = engine.last_report
-        per_site = ", ".join(str(s.payload_bytes) for s in report.sites)
-        print(f"{name}: {fmt(engine.query(query))}")
-        print(
-            f"  bytes/site [{per_site}]  total={report.total_payload_bytes}  "
-            f"wall={report.wall_seconds:.2f}s"
-        )
+        with deploy(spec) as engine:
+            report = engine.last_report
+            per_site = ", ".join(str(s.payload_bytes) for s in report.sites)
+            print(f"{name}: {fmt(engine.query(query))}")
+            print(
+                f"  bytes/site [{per_site}]  "
+                f"total={report.total_payload_bytes}  "
+                f"wall={report.wall_seconds:.2f}s"
+            )
 
-    span = deploy(specs["spanner"]).query(SpannerDistanceQuery())
+    span = deploy(specs["spanner"], mode="sequential").query(
+        SpannerDistanceQuery()
+    )
     sr = measure_stretch(graph, span.spanner)
     print(
         f"spanner distances (k=2): {span.edges} edges, max stretch "
@@ -423,6 +432,9 @@ def main(argv: list[str] | None = None) -> int:
     p_dist.add_argument("--mode", default="sequential",
                         choices=["sequential", "process"],
                         help="site execution mode")
+    p_dist.add_argument("--processes", type=int, default=None,
+                        help="worker pool size for --mode process "
+                             "(default: min(sites, cpus))")
     p_dist.add_argument("--seed", type=int, default=0)
     p_dist.set_defaults(func=_cmd_distribute)
 

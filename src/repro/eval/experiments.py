@@ -221,7 +221,7 @@ def run_e5_subgraphs(quick: bool = True, seed: int = 0) -> Table:
     insert_only = stream_from_edges(wl.graph.n, list(wl.graph.edges()), 3)
     buriol = BuriolTriangleEstimator(
         wl.graph.n, samplers=1024 if quick else 4096, seed=seed
-    ).consume_batch(insert_only.as_batch())
+    ).consume(insert_only)
     best = buriol.estimate()
     true_t = triangle_count(wl.graph)
     table.add_row(

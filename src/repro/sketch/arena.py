@@ -104,17 +104,66 @@ class SketchArena:
         if not banks:
             raise ValueError("an arena needs at least one cell bank")
         cells = sum(b.size for b in banks)
-        buffer = np.empty(4 * cells, dtype=np.int64)
+        # np.zeros maps copy-on-write zero pages, and a bank that is
+        # still all-zero (any freshly built sketch) skips its copy — so
+        # adopting an empty hierarchy sketch touches no page at all.
+        # The distributed coordinator builds one such sketch (hundreds
+        # of MB for the hierarchy classes) per merge; this keeps that
+        # construction O(nnz folded in later), not O(cells).
+        buffer = np.zeros(4 * cells, dtype=np.int64)
         offset = 0
         for bank in banks:
             end = offset + bank.size
             views = tuple(
                 buffer[f * cells + offset:f * cells + end] for f in range(4)
             )
-            np.copyto(views[0], bank.phi)
-            np.copyto(views[1], bank.iota)
-            np.copyto(views[2], bank.fp1)
-            np.copyto(views[3], bank.fp2)
+            if bank.phi.any() or bank.iota.any() or bank.fp1.any() \
+                    or bank.fp2.any():
+                np.copyto(views[0], bank.phi)
+                np.copyto(views[1], bank.iota)
+                np.copyto(views[2], bank.fp1)
+                np.copyto(views[3], bank.fp2)
+            bank.phi, bank.iota, bank.fp1, bank.fp2 = views
+            offset = end
+        layout = tuple((b.size, b.domain, b.z1, b.z2) for b in banks)
+        return cls(buffer, cells, banks, layout)
+
+    @classmethod
+    def adopt_external(
+        cls, banks: Sequence["CellBank"], buffer: np.ndarray
+    ) -> "SketchArena":
+        """Re-point the banks at an externally-owned buffer, copy-free.
+
+        The buffer's *current contents* become the sketch state — the
+        caller zeroes or preloads it.  This is the process-mode seam:
+        a worker adopts its warm sketch's banks onto a slot of a
+        ``multiprocessing.shared_memory`` segment and folds stream
+        deltas directly into coordinator-visible memory.  The buffer
+        may itself be a view (e.g. a slice of a larger shared
+        segment); it must be one writable C-contiguous ``int64``
+        vector of exactly ``4 * total_cells`` elements.
+        """
+        banks = tuple(banks)
+        if not banks:
+            raise ValueError("an arena needs at least one cell bank")
+        cells = sum(b.size for b in banks)
+        if (
+            buffer.ndim != 1
+            or buffer.dtype != np.int64
+            or buffer.size != 4 * cells
+            or not buffer.flags.c_contiguous
+            or not buffer.flags.writeable
+        ):
+            raise SketchCompatibilityError(
+                "external arena buffer must be one writable contiguous "
+                f"int64 vector of {4 * cells} elements"
+            )
+        offset = 0
+        for bank in banks:
+            end = offset + bank.size
+            views = tuple(
+                buffer[f * cells + offset:f * cells + end] for f in range(4)
+            )
             bank.phi, bank.iota, bank.fp1, bank.fp2 = views
             offset = end
         layout = tuple((b.size, b.domain, b.z1, b.z2) for b in banks)
@@ -126,9 +175,28 @@ class SketchArena:
         False after any of the banks was re-adopted by another arena
         (nested sketch used as top level, or vice versa); the owner then
         rebuilds via :func:`ensure_arena`.
+
+        When the buffer is itself a view of a larger array (an
+        :meth:`adopt_external` slot inside a shared segment), numpy
+        collapses view chains — a bank's ``base`` is the *root* array,
+        not this buffer — so the check compares against the root and
+        additionally pins the first bank's address: two slots of the
+        same segment share a root, and only the address tells a bank
+        re-adopted onto a different slot apart.
         """
         buffer = self.buffer
-        return all(b.phi.base is buffer for b in self.banks)
+        root = buffer if buffer.base is None else buffer.base
+        first = self.banks[0].phi
+        if first.base is not buffer and first.base is not root:
+            return False
+        if (
+            first.__array_interface__["data"][0]
+            != buffer.__array_interface__["data"][0]
+        ):
+            return False
+        return all(
+            b.phi.base is buffer or b.phi.base is root for b in self.banks
+        )
 
     # -- whole-buffer linear algebra -------------------------------------------
 

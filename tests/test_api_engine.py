@@ -143,11 +143,70 @@ class TestShardedParity:
 
     def test_process_mode_identical(self, stream, direct_bytes):
         spec = SPECS["spanning_forest"]
+        with (GraphSketchEngine.for_spec(spec)
+                .sharded(sites=2, seed=3)
+                .workers(mode="process", processes=2)) as engine:
+            engine.ingest(stream)
+            assert engine.snapshot() == direct_bytes["spanning_forest"]
+
+
+class TestProcessLifecycle:
+    """Engine-level pool/segment lifecycle for ``workers("process")``."""
+
+    def test_runner_and_pool_reused_across_ingests(self, stream):
+        from repro.distributed import shm
+
+        spec = SPECS["spanning_forest"]
+        with (GraphSketchEngine.for_spec(spec)
+                .sharded(sites=2, seed=3)
+                .workers(mode="process", processes=1,
+                         start_method="spawn")) as engine:
+            engine.ingest(stream)
+            runner = engine._runner_obj
+            assert runner is not None and runner._pool is not None
+            pool = runner._pool
+            engine.ingest(stream)
+            assert engine._runner_obj is runner
+            assert runner._pool is pool
+            assert shm.active_segment_names()
+        assert shm.active_segment_names() == []
+        # Linearity check on the double ingest: merged state equals a
+        # sequential engine fed the stream twice.
+        twice = (GraphSketchEngine.for_spec(spec)
+                 .sharded(sites=2, seed=3)
+                 .ingest(stream).ingest(stream))
+        assert engine.snapshot() == twice.snapshot()
+
+    def test_close_keeps_engine_queryable_and_is_idempotent(
+        self, stream, direct_bytes
+    ):
+        spec = SPECS["spanning_forest"]
         engine = (GraphSketchEngine.for_spec(spec)
                   .sharded(sites=2, seed=3)
-                  .workers(mode="process", processes=2)
+                  .workers(mode="process", processes=1)
                   .ingest(stream))
+        engine.close()
+        assert engine._runner_obj is None
         assert engine.snapshot() == direct_bytes["spanning_forest"]
+        engine.close()
+        # A later ingest transparently rebuilds the pool + segments.
+        engine.ingest(stream)
+        assert engine._runner_obj is not None
+        engine.close()
+
+    def test_close_is_noop_on_local_engine(self, stream, direct_bytes):
+        engine = GraphSketchEngine.for_spec(
+            SPECS["spanning_forest"]
+        ).ingest(stream)
+        engine.close()
+        assert engine.snapshot() == direct_bytes["spanning_forest"]
+
+    def test_workers_rejects_bad_processes(self):
+        engine = GraphSketchEngine.for_spec(
+            SPECS["spanning_forest"]
+        ).sharded(sites=2)
+        with pytest.raises(ValueError, match="processes must be >= 1"):
+            engine.workers(mode="process", processes=0)
 
 
 class TestTemporalParity:

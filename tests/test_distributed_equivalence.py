@@ -250,7 +250,40 @@ class TestPartitionBasics:
     def test_process_mode_matches_sequential(self, stream):
         factory = functools.partial(_forest, 909)
         seq = ShardedSketchRunner(factory, sites=3, mode="sequential")
-        par = ShardedSketchRunner(factory, sites=3, mode="process")
-        assert dump_sketch(seq.run(stream).sketch) == dump_sketch(
-            par.run(stream).sketch
-        )
+        with ShardedSketchRunner(factory, sites=3, mode="process") as par:
+            assert dump_sketch(seq.run(stream).sketch) == dump_sketch(
+                par.run(stream).sketch
+            )
+
+
+class TestProcessModeEquivalence:
+    """Shared-memory process mode against the single-site reference.
+
+    The same contract as :class:`TestShardCountInvariance`, but through
+    the persistent-pool shared-memory path: every sketch kind, every
+    partition strategy, one warm runner per kind (``run(st,
+    strategy=...)`` re-targets a live pool, so the matrix also proves
+    strategy changes never require a respawn).
+    """
+
+    @pytest.mark.parametrize(
+        "name,maker,weighted", SKETCH_CASES, ids=[c[0] for c in SKETCH_CASES]
+    )
+    def test_shm_merged_equals_single_site(
+        self, name, maker, weighted, stream, weighted_stream
+    ):
+        st = weighted_stream if weighted else stream
+        case_index = [c[0] for c in SKETCH_CASES].index(name)
+        factory = functools.partial(maker, 2000 + case_index)
+        reference = dump_sketch(factory().consume(st))
+        with ShardedSketchRunner(
+            factory, sites=3, seed=3, mode="process"
+        ) as runner:
+            for strategy in PARTITION_STRATEGIES:
+                report = runner.run(st, strategy=strategy)
+                assert dump_sketch(report.sketch) == reference, (
+                    f"{name}: process-mode coordinator differs from "
+                    f"single-site at K=3, strategy={strategy}"
+                )
+                assert report.mode == "process"
+                assert sum(s.tokens for s in report.sites) == len(st)
