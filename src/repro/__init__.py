@@ -84,6 +84,7 @@ from .core import (
 )
 from .errors import (
     AdaptivityError,
+    EpochStoreError,
     GraphError,
     NotSupportedError,
     RecoveryFailed,
@@ -91,10 +92,12 @@ from .errors import (
     SamplerFailed,
     SketchCompatibilityError,
     SketchFailure,
+    StoreCorruptionError,
     StreamError,
 )
 from .hashing import HashSource
 from .streams import DynamicGraphStream, EdgeUpdate, StreamBatch
+from .temporal import EpochStore, RetentionPolicy
 
 __version__ = "1.1.0"
 
@@ -142,8 +145,12 @@ __all__ = [
     "SpanningForestSketch",
     "SubgraphSketch",
     "WeightedSparsification",
+    # -- durable temporal storage -----------------------------------------------
+    "EpochStore",
+    "RetentionPolicy",
     # -- exception hierarchy ----------------------------------------------------
     "AdaptivityError",
+    "EpochStoreError",
     "GraphError",
     "NotSupportedError",
     "RecoveryFailed",
@@ -151,6 +158,7 @@ __all__ = [
     "SamplerFailed",
     "SketchCompatibilityError",
     "SketchFailure",
+    "StoreCorruptionError",
     "StreamError",
     # -- stream model -----------------------------------------------------------
     "DynamicGraphStream",

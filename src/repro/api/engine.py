@@ -37,6 +37,7 @@ manifest, and ``restore`` rebuilds a queryable engine from either.
 from __future__ import annotations
 
 import functools
+import os
 import time
 from types import TracebackType
 from typing import Any
@@ -53,6 +54,7 @@ from ..sketch.serialize import (
 from ..streams import DynamicGraphStream, StreamBatch
 from ..temporal.epochs import EpochCheckpoint, EpochManager, EpochTimeline
 from ..temporal.query import materialise_window, window_payload_bytes
+from ..temporal.store import STORE_POINTER_KIND, EpochStore, RetentionPolicy
 from .capabilities import CapabilityEntry, capability_entry
 from .dispatch import answer_query
 from .queries import (
@@ -110,6 +112,10 @@ class GraphSketchEngine:
         self._temporal: bool = False
         self._epoch_count: int | None = None
         self._epoch_boundaries: tuple[int, ...] | None = None
+        self._store: EpochStore | None = None
+        self._store_path: "str | os.PathLike[str] | None" = None
+        self._store_retention: RetentionPolicy | None = None
+        self._store_horizon: int | None = None
         # runtime state
         self._started = False
         self._sketch: Any = None
@@ -163,6 +169,9 @@ class GraphSketchEngine:
         self,
         count: int | None = None,
         boundaries: "list[int] | tuple[int, ...] | None" = None,
+        store: "EpochStore | str | os.PathLike[str] | None" = None,
+        retention: RetentionPolicy | None = None,
+        horizon: int | None = None,
     ) -> "GraphSketchEngine":
         """Seal cumulative checkpoints and answer windowed queries.
 
@@ -171,6 +180,14 @@ class GraphSketchEngine:
         pass neither to seal manually with :meth:`ingest_batch` +
         :meth:`seal_epoch`.  Not available for the adaptive spanner
         builders, which hold no serialisable linear state.
+
+        With ``store=`` (a directory path or an
+        :class:`~repro.temporal.EpochStore`) checkpoints are sealed
+        *durably*: appended to the on-disk store with dyadic compaction
+        instead of accumulating in an in-memory timeline, with
+        ``retention`` (a :class:`~repro.temporal.RetentionPolicy`) and
+        ``horizon`` forwarded to the store.  Windowed queries then page
+        O(log T) span blobs from disk.
         """
         self._require_unstarted("epochs")
         if not self._entry.serialisable:
@@ -180,11 +197,22 @@ class GraphSketchEngine:
             )
         if count is not None and boundaries is not None:
             raise ValueError("pass at most one of count= or boundaries=")
+        if store is None and (retention is not None or horizon is not None):
+            raise ValueError(
+                "retention=/horizon= configure the durable store; pass "
+                "store= as well"
+            )
         self._temporal = True
         self._epoch_count = count
         self._epoch_boundaries = (
             tuple(int(b) for b in boundaries) if boundaries is not None else None
         )
+        if isinstance(store, EpochStore):
+            self._store = store
+        else:
+            self._store_path = store
+        self._store_retention = retention
+        self._store_horizon = horizon
         return self
 
     def workers(
@@ -246,22 +274,31 @@ class GraphSketchEngine:
     @property
     def epochs_sealed(self) -> int:
         """Sealed epochs addressable by window queries (0 outside temporal)."""
-        timeline = self._current_timeline()
-        return timeline.epochs if timeline is not None else 0
+        source = self._window_source()
+        return source.epochs if source is not None else 0
 
     @property
     def timeline(self) -> EpochTimeline | None:
-        """The sealed checkpoint timeline (``None`` outside temporal mode)."""
+        """The sealed checkpoint timeline (``None`` outside temporal mode).
+
+        Store-backed engines deliberately hold no in-memory timeline
+        (bounded RAM is the point) — use :attr:`store` instead.
+        """
         return self._current_timeline()
+
+    @property
+    def store(self) -> EpochStore | None:
+        """The attached durable epoch store (``None`` unless store-backed)."""
+        return self._store
 
     def window_tokens(self, t1: int, t2: int) -> int:
         """Number of stream tokens the epoch window ``[t1, t2)`` spans."""
-        timeline = self._current_timeline()
-        if timeline is None:
+        source = self._window_source()
+        if source is None:
             raise NotSupportedError("no epochs sealed yet")
         from ..temporal.query import window_tokens
 
-        return window_tokens(timeline, t1, t2)
+        return window_tokens(source, t1, t2)
 
     @property
     def shipped_bytes(self) -> int:
@@ -432,18 +469,28 @@ class GraphSketchEngine:
             list(self._epoch_boundaries)
             if self._epoch_boundaries is not None else None
         )
+        store = self._ensure_store()
         if self._sites is not None:
             report = self._runner().run_epochs(
-                stream, epochs=self._epoch_count, boundaries=boundaries
+                stream, epochs=self._epoch_count, boundaries=boundaries,
+                store=store,
             )
-            self._timeline = report.timeline
+            if store is None:
+                self._timeline = report.timeline
             self._last_report = report
             self._shipped_bytes += report.total_payload_bytes
+        elif store is not None:
+            EpochManager.consume(
+                self._factory(), stream,
+                epochs=self._epoch_count, boundaries=boundaries, store=store,
+            )
         else:
-            self._timeline = EpochManager.consume(
+            timeline = EpochManager.consume(
                 self._factory(), stream,
                 epochs=self._epoch_count, boundaries=boundaries,
             )
+            assert isinstance(timeline, EpochTimeline)
+            self._timeline = timeline
         return self
 
     def _ensure_sketch(self) -> Any:
@@ -451,17 +498,40 @@ class GraphSketchEngine:
             self._sketch = self.spec.build()
         return self._sketch
 
+    def _ensure_store(self) -> EpochStore | None:
+        """Open/create the configured durable store on first use."""
+        if self._store is None and self._store_path is not None:
+            self._store = EpochStore(
+                self._store_path,
+                retention=self._store_retention,
+                horizon=self._store_horizon,
+            )
+            self._store_path = None
+        return self._store
+
     def _ensure_manager(self) -> EpochManager:
         if self._manager is None:
-            self._manager = EpochManager(self._factory())
+            store = self._ensure_store()
+            if store is not None and store.epochs > 0:
+                self._manager = EpochManager.resume(self._factory(), store)
+            else:
+                self._manager = EpochManager(self._factory(), store=store)
         return self._manager
 
     def _current_timeline(self) -> EpochTimeline | None:
         if self._timeline is not None:
             return self._timeline
-        if self._manager is not None and self._manager.sealed_epochs > 0:
+        if self._manager is not None and self._manager.store is None and \
+                self._manager.sealed_epochs > 0:
             return self._manager.timeline()
         return None
+
+    def _window_source(self) -> "EpochStore | EpochTimeline | None":
+        """Whatever windowed queries should read: store first, else timeline."""
+        store = self._store
+        if store is not None and store.epochs > 0:
+            return store
+        return self._current_timeline()
 
     # -- queries ----------------------------------------------------------------
 
@@ -488,16 +558,18 @@ class GraphSketchEngine:
         payload_bytes = 0
         window: tuple[int, int] | None = None
         if self._temporal:
-            timeline = self._current_timeline()
-            if timeline is None:
+            source = self._window_source()
+            if source is None:
                 raise NotSupportedError(
                     "no epochs sealed yet; ingest a stream or seal_epoch() "
                     "before querying a temporal engine"
                 )
+            # A store under retention may have evicted a prefix; the
+            # default full window starts at its floor.
             t1, t2 = query.window if query.window is not None \
-                else (0, timeline.epochs)
-            sketch = materialise_window(timeline, t1, t2)
-            payload_bytes = window_payload_bytes(timeline, t1, t2)
+                else (getattr(source, "base", 0), source.epochs)
+            sketch = materialise_window(source, t1, t2)
+            payload_bytes = window_payload_bytes(source, t1, t2)
             window = (t1, t2)
         else:
             if query.window is not None:
@@ -578,6 +650,10 @@ class GraphSketchEngine:
             raise NotSupportedError(
                 "adaptive spanner builders hold no serialisable linear state"
             )
+        if self._store is not None and self._store.epochs > 0:
+            # Store-backed state lives on disk already; the snapshot is
+            # a verified pointer at the catalog, not a copy of it.
+            return self._store.pointer_bytes()
         if self._temporal:
             timeline = self._current_timeline()
             if timeline is None:
@@ -592,12 +668,16 @@ class GraphSketchEngine:
         """Rebuild a queryable engine from :meth:`snapshot` bytes.
 
         Sketch blobs restore a local engine; epoch manifests restore a
-        temporal engine (windowed queries work immediately).  ``spec``
-        optionally overrides the spec reconstructed from the blob
-        header (kind, n, seed) — e.g. to re-attach constructor params.
+        temporal engine (windowed queries work immediately); store
+        pointers (:meth:`~repro.temporal.EpochStore.pointer_bytes`)
+        reopen the on-disk store and attach it.  ``spec`` optionally
+        overrides the spec reconstructed from the blob header (kind, n,
+        seed) — e.g. to re-attach constructor params.
         """
         header = peek_sketch_meta(data)
         kind = str(header.get("__kind__", ""))
+        if kind == STORE_POINTER_KIND:
+            return cls.attach_store(EpochStore.from_pointer(data), spec=spec)
         if kind == _MANIFEST_KIND:
             timeline = EpochTimeline.from_bytes(data)
             sketch_kind = timeline.sketch_kind
@@ -627,8 +707,41 @@ class GraphSketchEngine:
             return engine
         raise ValueError(
             f"blob holds a {kind!r}, not an engine snapshot "
-            "(sketch blob or epoch manifest)"
+            "(sketch blob, epoch manifest, or store pointer)"
         )
+
+    @classmethod
+    def attach_store(
+        cls,
+        store: "EpochStore | str | os.PathLike[str]",
+        spec: SketchSpec | None = None,
+    ) -> "GraphSketchEngine":
+        """Build a queryable temporal engine over an existing store.
+
+        The spec is reconstructed from the store's recorded sketch
+        kind, universe, and seed (overridable with ``spec``, checked
+        for kind agreement); windowed queries work immediately, and
+        further :meth:`ingest_batch` + :meth:`seal_epoch` calls resume
+        appending where the store left off.
+        """
+        if not isinstance(store, EpochStore):
+            store = EpochStore.open(store)
+        if store.epochs == 0:
+            raise NotSupportedError(
+                f"store at {store.root!s} is empty; it records no sketch "
+                "kind to build an engine from — seal epochs into it first"
+            )
+        sketch_kind = store.sketch_kind
+        if sketch_kind.startswith(_SKETCH_PREFIX):
+            sketch_kind = sketch_kind[len(_SKETCH_PREFIX):]
+        _require_spec_kind(spec, sketch_kind)
+        engine = cls(spec or SketchSpec(
+            kind=sketch_kind, n=store.n, seed=store.seed,
+        ))
+        engine._temporal = True
+        engine._store = store
+        engine._started = True
+        return engine
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -243,6 +243,8 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
     import pathlib
 
     from .api import GraphSketchEngine
+    from .errors import EpochStoreError
+    from .temporal import RetentionPolicy
 
     if args.epochs < 1:
         print("error: --epochs must be >= 1", file=sys.stderr)
@@ -250,6 +252,30 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
     if args.sites < 1:
         print("error: --sites must be >= 1", file=sys.stderr)
         return 2
+    retention = None
+    if args.store is None and (
+        args.horizon is not None or args.max_epochs is not None
+        or args.max_bytes is not None or args.granularity is not None
+    ):
+        print(
+            "error: --horizon/--max-epochs/--max-bytes/--granularity "
+            "configure the durable store; pass --store DIR as well",
+            file=sys.stderr,
+        )
+        return 2
+    if args.store is not None and (
+        args.max_epochs is not None or args.max_bytes is not None
+        or args.granularity is not None
+    ):
+        try:
+            retention = RetentionPolicy(
+                max_epochs=args.max_epochs,
+                max_bytes=args.max_bytes,
+                min_granularity=args.granularity or 1,
+            )
+        except ValueError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
     seed = args.seed
     graph, stream, specs = _demo_setup(seed)
     # Validate the epoch grid up front: a decreasing or short grid must
@@ -276,7 +302,14 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
     engine = GraphSketchEngine.for_spec(specs["forest"])
     if args.sites > 1:
         engine.sharded(sites=args.sites, seed=seed)
-    engine.epochs(count=epochs, boundaries=boundaries).ingest(stream)
+    try:
+        engine.epochs(
+            count=epochs, boundaries=boundaries,
+            store=args.store, retention=retention, horizon=args.horizon,
+        ).ingest(stream)
+    except EpochStoreError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
     if args.sites > 1:
         report = engine.last_report
         print(
@@ -284,21 +317,30 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
             f"{report.total_payload_bytes} checkpoint bytes shipped, "
             f"wall={report.wall_seconds:.2f}s"
         )
-    timeline = engine.timeline
-    print("epoch  tokens  cumulative  checkpoint-bytes")
-    for chk in timeline.checkpoints:
+    if args.store is not None:
+        store = engine.store
+        print("span-start  span-end  segment-bytes")
+        for entry in store.spans():
+            print(f"{entry.start:>10}  {entry.end:>8}  {entry.nbytes:>13}")
         print(
-            f"{chk.epoch:>5}  {chk.tokens:>6}  {chk.cumulative_tokens:>10}  "
-            f"{len(chk.payload):>16}"
+            f"store: {store.epochs} epochs at {store.root} — "
+            f"{store.span_count} spans, {store.total_bytes} bytes on disk, "
+            f"retention floor {store.base}"
         )
+    else:
+        timeline = engine.timeline
+        print("epoch  tokens  cumulative  checkpoint-bytes")
+        for chk in timeline.checkpoints:
+            print(
+                f"{chk.epoch:>5}  {chk.tokens:>6}  {chk.cumulative_tokens:>10}  "
+                f"{len(chk.payload):>16}"
+            )
     manifest = engine.snapshot()
-    print(
-        f"manifest: {timeline.epochs} epochs, {len(manifest)} bytes "
-        f"({timeline.total_payload_bytes} raw checkpoint bytes)"
-    )
+    what = "store pointer" if args.store is not None else "manifest"
+    print(f"{what}: {engine.epochs_sealed} epochs, {len(manifest)} bytes")
     if args.out:
         pathlib.Path(args.out).write_bytes(manifest)
-        print(f"wrote manifest to {args.out}")
+        print(f"wrote {what} to {args.out}")
     return 0
 
 
@@ -352,16 +394,33 @@ def _cmd_window_query(args: argparse.Namespace) -> int:
     import pathlib
 
     from .api import GraphSketchEngine
+    from .errors import EpochStoreError
 
     seed = args.seed
     if args.epochs < 1:
         print("error: --epochs must be >= 1", file=sys.stderr)
         return 2
-    if args.manifest:
+    if args.store and args.manifest:
+        print("error: pass at most one of --store / --manifest",
+              file=sys.stderr)
+        return 2
+    if args.store:
+        try:
+            engine = GraphSketchEngine.attach_store(args.store)
+        except (ValueError, EpochStoreError) as err:
+            print(f"error: cannot open store: {err}", file=sys.stderr)
+            return 2
+        store = engine.store
+        print(
+            f"store: {engine.epochs_sealed} epochs of {engine.spec.kind} "
+            f"at {store.root} ({store.span_count} spans, "
+            f"retention floor {store.base})"
+        )
+    elif args.manifest:
         data = pathlib.Path(args.manifest).read_bytes()
         try:
             engine = GraphSketchEngine.restore(data)
-        except ValueError as err:
+        except (ValueError, EpochStoreError) as err:
             print(f"error: cannot load manifest: {err}", file=sys.stderr)
             return 2
         print(
@@ -384,11 +443,17 @@ def _cmd_window_query(args: argparse.Namespace) -> int:
             for query in _window_queries(engine, (t1, t2))
         ]
         tokens = engine.window_tokens(t1, t2)
-    except ValueError as err:
+    except (ValueError, EpochStoreError) as err:
+        # EpochStoreError is not a ValueError: retention refusals
+        # (evicted epochs, sub-granularity endpoints) exit 2 too.
         print(f"error: {err}", file=sys.stderr)
         return 2
-    print(f"window [{t1}, {t2}): {tokens} tokens, materialised by "
-          f"{'1 load' if t1 == 0 else '2 loads + subtraction'}")
+    if engine.store is not None:
+        loads = len(engine.store.plan_window(t1, t2))
+        how = f"{loads} dyadic span load{'s' if loads != 1 else ''} merged"
+    else:
+        how = "1 load" if t1 == 0 else "2 loads + subtraction"
+    print(f"window [{t1}, {t2}): {tokens} tokens, materialised by {how}")
     for result in results:
         print(f"  [{result.capability}] "
               f"({result.telemetry.payload_bytes} checkpoint bytes, "
@@ -452,7 +517,24 @@ def main(argv: list[str] | None = None) -> int:
                           help="simulate K sites (per-site checkpoints "
                                "merged across sites; default 1)")
     p_epochs.add_argument("--out", default=None,
-                          help="write the epoch manifest to this file")
+                          help="write the epoch manifest (or store pointer, "
+                               "with --store) to this file")
+    p_epochs.add_argument("--store", default=None, metavar="DIR",
+                          help="seal checkpoints durably into an EpochStore "
+                               "directory (dyadic compaction) instead of an "
+                               "in-memory timeline")
+    p_epochs.add_argument("--horizon", type=int, default=None,
+                          help="epochs kept uncompacted at the tail of the "
+                               "store (default 0: compact eagerly)")
+    p_epochs.add_argument("--max-epochs", type=int, default=None,
+                          help="retention: keep at most this many trailing "
+                               "epochs addressable")
+    p_epochs.add_argument("--max-bytes", type=int, default=None,
+                          help="retention: evict oldest spans past this "
+                               "many on-disk bytes")
+    p_epochs.add_argument("--granularity", type=int, default=None,
+                          help="retention: power-of-two minimum span length "
+                               "kept for compacted (old) epochs")
     p_epochs.add_argument("--seed", type=int, default=0)
     p_epochs.set_defaults(func=_cmd_epochs)
 
@@ -463,6 +545,10 @@ def main(argv: list[str] | None = None) -> int:
     p_window.add_argument("--manifest", default=None,
                           help="epoch manifest file (from `epochs --out`); "
                                "omitted: build a demo timeline")
+    p_window.add_argument("--store", default=None, metavar="DIR",
+                          help="answer from a durable EpochStore directory "
+                               "(from `epochs --store`) by merging O(log T) "
+                               "dyadic spans")
     p_window.add_argument("--from", dest="t1", type=int, default=0,
                           help="window start epoch T1 (default 0)")
     p_window.add_argument("--to", dest="t2", type=int, default=None,

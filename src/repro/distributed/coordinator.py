@@ -44,6 +44,7 @@ import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from types import TracebackType
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -59,6 +60,9 @@ from ..temporal.epochs import (
 )
 from .partition import partition_batch, shard_assignment
 from .shm import SegmentRegistry, reset_worker_cache, worker_view
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from ..temporal.store import EpochStore
 
 __all__ = [
     "SiteReport",
@@ -577,6 +581,7 @@ class ShardedSketchRunner:
         stream: DynamicGraphStream,
         epochs: int | None = None,
         boundaries: Sequence[int] | None = None,
+        store: "EpochStore | None" = None,
     ) -> ShardedEpochReport:
         """Sharded temporal run: per-site, per-epoch checkpoints.
 
@@ -587,7 +592,11 @@ class ShardedSketchRunner:
         The returned timeline supports window queries by subtraction
         that are byte-identical to a single-site timeline of the whole
         stream.  Pass ``epochs`` for an even grid or ``boundaries`` for
-        explicit epoch-end token positions.
+        explicit epoch-end token positions.  With ``store=`` every
+        sealed checkpoint is *also* appended durably to an
+        :class:`~repro.temporal.store.EpochStore` as it is produced —
+        in either execution mode — so the stored timeline matches the
+        returned one exactly.
         """
         bounds = normalize_boundaries(len(stream), epochs, boundaries)
         t_start = time.perf_counter()
@@ -606,7 +615,8 @@ class ShardedSketchRunner:
             )
         if self._use_processes():
             return self._run_process_epochs(
-                stream.n, shard_batches, site_bounds, bounds, t_start
+                stream.n, shard_batches, site_bounds, bounds, t_start,
+                store=store,
             )
         payloads = [
             (s, self.factory, stream.n, shard.lo, shard.hi, shard.delta,
@@ -636,6 +646,8 @@ class ShardedSketchRunner:
                     "cumulative_tokens": bound,
                 }),
             ))
+            if store is not None:
+                store.append_checkpoint(checkpoints[-1])
             previous_bound = bound
         reports = [
             SiteReport(site, tokens, sum(len(p) for p in site_payloads), secs)
@@ -656,6 +668,7 @@ class ShardedSketchRunner:
         site_bounds: Sequence[np.ndarray],
         bounds: Sequence[int],
         t_start: float,
+        store: "EpochStore | None" = None,
     ) -> ShardedEpochReport:
         """Shared-memory temporal run: one pool round per epoch.
 
@@ -709,6 +722,8 @@ class ShardedSketchRunner:
                     "cumulative_tokens": bound,
                 }),
             ))
+            if store is not None:
+                store.append_checkpoint(checkpoints[-1])
             previous_bound = bound
         reports = [
             SiteReport(s, tokens[s], shipped[s], seconds[s])

@@ -60,6 +60,30 @@ def incompatible(
     )
 
 
+class EpochStoreError(ReproError):
+    """Invalid use of a durable epoch store.
+
+    Raised by :class:`~repro.temporal.store.EpochStore` for requests the
+    store cannot honour *by policy or state* rather than by corruption:
+    appending checkpoints out of order or with a mismatched sketch
+    kind/seed, windows that reach below the retention floor (evicted
+    epochs), windows whose endpoints fall between the retained dyadic
+    spans (finer than the declared ``min_granularity``), and opening a
+    path that holds no store.
+    """
+
+
+class StoreCorruptionError(EpochStoreError):
+    """On-disk epoch-store state failed an integrity check.
+
+    Raised — instead of ever returning a wrong window answer — when a
+    catalog or segment blob is truncated, fails its CRC, is missing,
+    or holds a sketch whose kind/seed/span disagrees with the catalog
+    entry that references it.  The store object stays usable for the
+    epochs whose segments are intact, and the store remains openable.
+    """
+
+
 class SketchFailure(ReproError):
     """Base class for *expected*, probabilistic sketch failures.
 

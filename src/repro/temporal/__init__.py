@@ -20,7 +20,11 @@ The package:
   (:func:`repro.sketch.dump_epoch_manifest`);
 * :class:`~repro.temporal.query.TemporalQueryEngine` — materialises any
   epoch-aligned window ``[t1, t2)`` by subtraction and routes it
-  through the sketch's existing query surface.
+  through the sketch's existing query surface;
+* :class:`~repro.temporal.store.EpochStore` — durable, append-only
+  checkpoint storage with dyadic compaction (old windows answered from
+  O(log T) span loads), :class:`~repro.temporal.store.RetentionPolicy`
+  enforcement, and lazy LRU paging of segment blobs.
 
 Multi-site deployments compose orthogonally: per-site, per-epoch
 checkpoints are merged across sites *and* subtracted across time
@@ -44,11 +48,15 @@ from .query import (
     window_payload_bytes,
     window_tokens,
 )
+from .store import EpochStore, RetentionPolicy, SpanEntry
 
 __all__ = [
     "EpochCheckpoint",
     "EpochManager",
+    "EpochStore",
     "EpochTimeline",
+    "RetentionPolicy",
+    "SpanEntry",
     "TemporalQueryEngine",
     "epoch_boundaries",
     "materialise_window",

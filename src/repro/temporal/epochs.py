@@ -22,14 +22,20 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+from ..errors import EpochStoreError
 from ..sketch.serialize import (
     dump_epoch_manifest,
     dump_sketch,
     load_epoch_manifest,
+    load_sketch,
     peek_sketch_meta,
 )
 from ..streams import DynamicGraphStream, StreamBatch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store imports us)
+    from .store import EpochStore
 
 __all__ = [
     "EpochCheckpoint",
@@ -118,6 +124,29 @@ class EpochTimeline:
             )
         return self.checkpoints[epoch - 1]
 
+    def window_payloads(self, t1: int, t2: int) -> tuple[list[bytes], list[bytes]]:
+        """Payloads to merge / subtract for the window ``[t1, t2)``.
+
+        The cumulative representation answers every window from the
+        ``t2`` checkpoint minus (when ``t1 > 0``) the ``t1`` checkpoint.
+        Same duck-typed surface as :meth:`repro.temporal.store.
+        EpochStore.window_payloads`, whose second list is always empty.
+        """
+        # Bounds check inlined rather than imported from .query (which
+        # imports this module).
+        if not 0 <= t1 < t2 <= self.epochs:
+            raise ValueError(
+                f"window [{t1}, {t2}) is not a valid epoch range within "
+                f"[0, {self.epochs}]"
+            )
+        subtract = [self.checkpoint(t1).payload] if t1 > 0 else []
+        return [self.checkpoint(t2).payload], subtract
+
+    def window_payload_bytes(self, t1: int, t2: int) -> int:
+        """Checkpoint bytes a window materialisation loads for ``[t1, t2)``."""
+        merge, subtract = self.window_payloads(t1, t2)
+        return sum(len(p) for p in merge) + sum(len(p) for p in subtract)
+
     def to_bytes(self) -> bytes:
         """Serialise the timeline into one epoch-manifest blob."""
         return dump_epoch_manifest(
@@ -193,9 +222,21 @@ class EpochManager:
 
     or one-shot over a whole stream with an epoch grid:
     :meth:`consume`.
+
+    With ``store=`` the manager runs *durable*: every sealed checkpoint
+    is appended straight to an :class:`~repro.temporal.store.EpochStore`
+    and **not** retained in memory, so RAM stays bounded by one live
+    sketch no matter how many epochs are sealed.  Query the store (or
+    :func:`~repro.temporal.query.materialise_window` over it) instead of
+    :meth:`timeline`, and continue an interrupted run from disk with
+    :meth:`resume`.
     """
 
-    def __init__(self, factory: Callable[[], object]):
+    def __init__(
+        self,
+        factory: Callable[[], object],
+        store: "EpochStore | None" = None,
+    ):
         self._factory = factory
         self._sketch = factory()
         if not hasattr(self._sketch, "consume_batch"):
@@ -203,6 +244,13 @@ class EpochManager:
                 f"{type(self._sketch).__name__} has no consume_batch; the "
                 "epoch manager requires the columnar ingestion path"
             )
+        if store is not None and store.epochs > 0:
+            raise EpochStoreError(
+                f"store at {store.root!s} already holds {store.epochs} "
+                "epochs; use EpochManager.resume(store) to continue it "
+                "instead of attaching a fresh manager"
+            )
+        self._store = store
         self._checkpoints: list[EpochCheckpoint] = []
         self._epoch_tokens = 0
         self._cumulative_tokens = 0
@@ -215,7 +263,14 @@ class EpochManager:
     @property
     def sealed_epochs(self) -> int:
         """Number of checkpoints sealed so far."""
+        if self._store is not None:
+            return self._store.epochs
         return len(self._checkpoints)
+
+    @property
+    def store(self) -> "EpochStore | None":
+        """The attached durable store, when running store-backed."""
+        return self._store
 
     def extend(self, batch: StreamBatch) -> "EpochManager":
         """Feed one columnar batch into the open epoch."""
@@ -229,9 +284,10 @@ class EpochManager:
 
         Empty epochs are legal (the checkpoint simply equals the
         previous one); the returned checkpoint is immutable and already
-        appended to the manager's timeline.
+        appended to the manager's timeline — or, store-backed, durably
+        appended to the store and *not* retained in memory.
         """
-        epoch = len(self._checkpoints) + 1
+        epoch = self.sealed_epochs + 1
         payload = dump_sketch(
             self._sketch,
             epoch_meta={
@@ -246,13 +302,54 @@ class EpochManager:
             cumulative_tokens=self._cumulative_tokens,
             payload=payload,
         )
-        self._checkpoints.append(checkpoint)
+        if self._store is not None:
+            self._store.append_checkpoint(checkpoint)
+        else:
+            self._checkpoints.append(checkpoint)
         self._epoch_tokens = 0
         return checkpoint
 
     def timeline(self) -> EpochTimeline:
-        """The timeline of every checkpoint sealed so far."""
+        """The timeline of every checkpoint sealed so far.
+
+        Only for in-memory managers: a store-backed manager deliberately
+        does not hold its checkpoints (that is the point), so query the
+        attached :class:`~repro.temporal.store.EpochStore` instead.
+        """
+        if self._store is not None:
+            raise EpochStoreError(
+                "manager is store-backed; checkpoints live in the store at "
+                f"{self._store.root!s} — query it directly instead of "
+                "materialising an in-memory timeline"
+            )
         return EpochTimeline(self.n, self._checkpoints)
+
+    @classmethod
+    def resume(
+        cls,
+        factory: Callable[[], object],
+        store: "EpochStore",
+    ) -> "EpochManager":
+        """Continue sealing epochs into a non-empty store.
+
+        The cumulative sketch is rebuilt from the store's head
+        checkpoint (exact — the head *is* the serialised cumulative
+        state), so epochs sealed from here extend the stored timeline
+        seamlessly; windows spanning the restart stay byte-identical to
+        an uninterrupted run.  ``factory`` is only consulted for the
+        ingestion-path type check on the rebuilt sketch's behalf; the
+        head payload supplies parameters and seed.
+        """
+        if store.epochs == 0:
+            raise EpochStoreError(
+                f"store at {store.root!s} is empty; build a fresh "
+                "EpochManager(factory, store=store) instead of resuming"
+            )
+        manager = cls(factory)
+        manager._sketch = load_sketch(store.head_payload())
+        manager._store = store
+        manager._cumulative_tokens = store.boundaries[-1]
+        return manager
 
     @classmethod
     def consume(
@@ -261,22 +358,27 @@ class EpochManager:
         stream: DynamicGraphStream,
         epochs: int | None = None,
         boundaries: Sequence[int] | None = None,
-    ) -> EpochTimeline:
+        store: "EpochStore | None" = None,
+    ) -> "EpochTimeline | EpochStore":
         """Checkpoint a whole stream along an epoch grid.
 
         Exactly one of ``epochs`` (evenly spaced) or ``boundaries``
         (explicit epoch-end token positions; non-decreasing, ending at
         ``len(stream)``) must be given.  Consumption goes through the
         shared columnar batch, sliced per epoch — no token-level Python.
+        With ``store=`` the checkpoints are sealed durably and the
+        store itself is returned instead of an in-memory timeline.
         """
         bounds = normalize_boundaries(len(stream), epochs, boundaries)
-        manager = cls(factory)
+        manager = cls(factory, store=store)
         batch = stream.as_batch()
         start = 0
         for end in bounds:
             manager.extend(batch.slice(start, end))
             manager.seal_epoch()
             start = end
+        if store is not None:
+            return store
         return manager.timeline()
 
 

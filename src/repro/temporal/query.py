@@ -21,11 +21,22 @@ state.  For state-at-a-time questions, query a prefix window
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any, Union
 
 from ..errors import SketchFailure
-from ..sketch.serialize import load_sketch, subtract_sketch_bytes
+from ..sketch.serialize import (
+    load_sketch,
+    merge_sketch_bytes,
+    subtract_sketch_bytes,
+)
 from .epochs import EpochTimeline
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store imports epochs)
+    from .store import EpochStore
+
+    WindowSource = Union[EpochTimeline, EpochStore]
+else:
+    WindowSource = Any
 
 __all__ = [
     "TemporalQueryEngine",
@@ -46,38 +57,41 @@ def require_window(epochs: int, t1: int, t2: int) -> None:
         )
 
 
-def materialise_window(timeline: EpochTimeline, t1: int, t2: int) -> Any:
+def materialise_window(source: WindowSource, t1: int, t2: int) -> Any:
     """The sketch of exactly the tokens in epochs ``t1+1 .. t2``.
 
-    One checkpoint load for a prefix window, two loads and a
-    subtraction otherwise — O(sketch size), independent of how many
-    tokens the window spans (the point of checkpointing).  The shared
-    implementation behind both :class:`TemporalQueryEngine` and the
+    ``source`` is either an in-memory :class:`~repro.temporal.epochs.
+    EpochTimeline` (one checkpoint load for a prefix window, two loads
+    and a subtraction otherwise) or a durable :class:`~repro.temporal.
+    store.EpochStore` (O(log T) dyadic span loads merged, no
+    subtraction) — both exact by linearity, and byte-identical to each
+    other.  The shared implementation behind both
+    :class:`TemporalQueryEngine` and the
     :class:`~repro.api.GraphSketchEngine` temporal mode.
     """
-    require_window(timeline.epochs, t1, t2)
-    sketch = load_sketch(timeline.checkpoint(t2).payload)
-    if t1 > 0:
+    require_window(source.epochs, t1, t2)
+    merge, subtract = source.window_payloads(t1, t2)
+    sketch = load_sketch(merge[0])
+    for payload in merge[1:]:
+        merge_sketch_bytes(sketch, payload)
+    for payload in subtract:
         # In-arena subtraction of the earlier checkpoint's bytes —
         # no second twin sketch is materialised.
-        subtract_sketch_bytes(sketch, timeline.checkpoint(t1).payload)
+        subtract_sketch_bytes(sketch, payload)
     return sketch
 
 
-def window_payload_bytes(timeline: EpochTimeline, t1: int, t2: int) -> int:
+def window_payload_bytes(source: WindowSource, t1: int, t2: int) -> int:
     """Checkpoint bytes :func:`materialise_window` loads for ``[t1, t2)``."""
-    require_window(timeline.epochs, t1, t2)
-    loaded = len(timeline.checkpoint(t2).payload)
-    if t1 > 0:
-        loaded += len(timeline.checkpoint(t1).payload)
-    return loaded
+    return int(source.window_payload_bytes(t1, t2))
 
 
-def window_tokens(timeline: EpochTimeline, t1: int, t2: int) -> int:
+def window_tokens(source: WindowSource, t1: int, t2: int) -> int:
     """Number of stream tokens the epoch window ``[t1, t2)`` spans."""
-    require_window(timeline.epochs, t1, t2)
-    start = timeline.checkpoint(t1).cumulative_tokens if t1 else 0
-    return timeline.checkpoint(t2).cumulative_tokens - start
+    require_window(source.epochs, t1, t2)
+    boundaries = source.boundaries
+    start = boundaries[t1 - 1] if t1 else 0
+    return int(boundaries[t2 - 1] - start)
 
 
 class TemporalQueryEngine:
@@ -94,7 +108,9 @@ class TemporalQueryEngine:
         through its single ``query()`` dispatch instead.
     """
 
-    def __init__(self, timeline: EpochTimeline):
+    def __init__(self, timeline: WindowSource):
+        # Either an in-memory EpochTimeline or a durable EpochStore —
+        # every window path below goes through the generic helpers.
         from ..api.deprecation import warn_deprecated
 
         warn_deprecated(

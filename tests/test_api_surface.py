@@ -66,6 +66,7 @@ EXPECTED_SKETCH_CLASSES = frozenset({
 
 EXPECTED_EXCEPTIONS = frozenset({
     "AdaptivityError",
+    "EpochStoreError",
     "GraphError",
     "NotSupportedError",
     "RecoveryFailed",
@@ -73,6 +74,7 @@ EXPECTED_EXCEPTIONS = frozenset({
     "SamplerFailed",
     "SketchCompatibilityError",
     "SketchFailure",
+    "StoreCorruptionError",
     "StreamError",
 })
 
@@ -83,11 +85,17 @@ EXPECTED_STREAM_MODEL = frozenset({
     "StreamBatch",
 })
 
+EXPECTED_TEMPORAL_STORE = frozenset({
+    "EpochStore",
+    "RetentionPolicy",
+})
+
 EXPECTED_TOP_LEVEL = (
     EXPECTED_API
     | EXPECTED_SKETCH_CLASSES
     | EXPECTED_EXCEPTIONS
     | EXPECTED_STREAM_MODEL
+    | EXPECTED_TEMPORAL_STORE
     | {"__version__"}
 )
 
