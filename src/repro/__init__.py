@@ -61,12 +61,17 @@ from .api import (
     SparsifierResult,
     SubgraphCountQuery,
     SubgraphCountResult,
+    WIRE_VERSION,
     build_sketch,
     capability_entry,
     capability_of,
     kind_of_sketch,
+    query_from_dict,
+    query_to_dict,
     register_capability,
     registered_kinds,
+    result_from_dict,
+    result_to_dict,
 )
 from .core import (
     BaswanaSenSpanner,
@@ -94,6 +99,8 @@ from .errors import (
     SketchFailure,
     StoreCorruptionError,
     StreamError,
+    WireFormatError,
+    error_code_table,
 )
 from .hashing import HashSource
 from .streams import DynamicGraphStream, EdgeUpdate, StreamBatch
@@ -126,12 +133,17 @@ __all__ = [
     "SparsifierResult",
     "SubgraphCountQuery",
     "SubgraphCountResult",
+    "WIRE_VERSION",
     "build_sketch",
     "capability_entry",
     "capability_of",
     "kind_of_sketch",
+    "query_from_dict",
+    "query_to_dict",
     "register_capability",
     "registered_kinds",
+    "result_from_dict",
+    "result_to_dict",
     # -- sketch classes ---------------------------------------------------------
     "BaswanaSenSpanner",
     "BipartitenessSketch",
@@ -160,6 +172,8 @@ __all__ = [
     "SketchFailure",
     "StoreCorruptionError",
     "StreamError",
+    "WireFormatError",
+    "error_code_table",
     # -- stream model -----------------------------------------------------------
     "DynamicGraphStream",
     "EdgeUpdate",

@@ -10,8 +10,8 @@ Rules
 -----
 REP-H001
     A public (non-underscore) function/method in the public-surface
-    directories (``api/``, ``analysis/``, ``errors.py``) missing a
-    parameter or return annotation.
+    directories (``api/``, ``analysis/``, ``serve/``, ``errors.py``)
+    missing a parameter or return annotation.
 REP-H002
     A bare ``except:`` anywhere in ``src/``, or an ``except`` handler
     whose entire body is ``pass`` (a silent swallow).
@@ -34,7 +34,7 @@ from .findings import FAMILY_HYGIENE, Finding
 __all__ = ["ANNOTATED_PATHS", "check_module"]
 
 #: Paths whose public callables must be fully annotated (REP-H001).
-ANNOTATED_PATHS = ("api/", "analysis/", "errors.py")
+ANNOTATED_PATHS = ("api/", "analysis/", "errors.py", "serve/")
 
 _CONSTRUCTION_HOOKS = frozenset({"__init__", "__post_init__", "__new__"})
 

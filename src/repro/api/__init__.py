@@ -42,6 +42,13 @@ from .queries import (
     capability_of,
 )
 from .spec import SketchSpec, build_sketch
+from .wire import (
+    WIRE_VERSION,
+    query_from_dict,
+    query_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
 
 __all__ = [
     "CAPABILITIES",
@@ -67,10 +74,15 @@ __all__ = [
     "SparsifierResult",
     "SubgraphCountQuery",
     "SubgraphCountResult",
+    "WIRE_VERSION",
     "build_sketch",
     "capability_entry",
     "capability_of",
     "kind_of_sketch",
+    "query_from_dict",
+    "query_to_dict",
     "register_capability",
     "registered_kinds",
+    "result_from_dict",
+    "result_to_dict",
 ]

@@ -159,7 +159,7 @@ _HANDLERS = {
 }
 
 
-def answer_query(
+def _answer_query(
     capability: str, sketch: Any, query: Query
 ) -> "tuple[type[QueryResult], dict[str, Any]]":
     """Dispatch ``query`` on ``sketch``; returns ``(result_cls, fields)``.
@@ -171,3 +171,22 @@ def answer_query(
     if handler is None:  # pragma: no cover - closed vocabulary
         raise NotSupportedError(f"no handler for capability {capability!r}")
     return handler(sketch, query)
+
+
+def answer_query(
+    capability: str, sketch: Any, query: Query
+) -> "tuple[type[QueryResult], dict[str, Any]]":
+    """Deprecated import path for the capability dispatcher.
+
+    .. deprecated::
+        Use :meth:`GraphSketchEngine.query` — the engine stamps
+        kind/capability/window/telemetry on the answer and is the only
+        supported dispatch surface (see ``docs/MIGRATION.md``).
+    """
+    from .deprecation import warn_deprecated
+
+    warn_deprecated(
+        "repro.api.dispatch.answer_query()",
+        "GraphSketchEngine.query()",
+    )
+    return _answer_query(capability, sketch, query)

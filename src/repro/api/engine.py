@@ -39,6 +39,7 @@ from __future__ import annotations
 import functools
 import os
 import time
+from collections.abc import Mapping
 from types import TracebackType
 from typing import Any
 
@@ -56,7 +57,7 @@ from ..temporal.epochs import EpochCheckpoint, EpochManager, EpochTimeline
 from ..temporal.query import materialise_window, window_payload_bytes
 from ..temporal.store import STORE_POINTER_KIND, EpochStore, RetentionPolicy
 from .capabilities import CapabilityEntry, capability_entry
-from .dispatch import answer_query
+from .dispatch import _answer_query
 from .queries import (
     Query,
     QueryResult,
@@ -66,6 +67,7 @@ from .queries import (
     capability_of,
 )
 from .spec import SketchSpec, build_sketch
+from .wire import query_from_dict
 
 __all__ = ["GraphSketchEngine"]
 
@@ -535,8 +537,13 @@ class GraphSketchEngine:
 
     # -- queries ----------------------------------------------------------------
 
-    def query(self, query: Query) -> QueryResult:
+    def query(self, query: "Query | Mapping[str, Any]") -> QueryResult:
         """Answer one typed query through the capability registry.
+
+        ``query`` is a typed :class:`Query` or its wire-stable dict
+        form (schema v1, :mod:`repro.api.wire`) — a network caller can
+        pass a decoded JSON body straight through; malformed dicts
+        raise :class:`~repro.errors.WireFormatError`.
 
         Dispatch is uniform across deployments: a temporal engine
         materialises the query's epoch window (default: the full sealed
@@ -545,6 +552,8 @@ class GraphSketchEngine:
         is a frozen dataclass carrying wall-clock and payload-byte
         telemetry.
         """
+        if isinstance(query, Mapping):
+            query = query_from_dict(query)
         capability = capability_of(query)
         if capability not in self._entry.queries:
             raise NotSupportedError(
@@ -583,7 +592,7 @@ class GraphSketchEngine:
                     "querying"
                 )
             sketch = self._ensure_sketch()
-        result_cls, fields = answer_query(capability, sketch, query)
+        result_cls, fields = _answer_query(capability, sketch, query)
         telemetry = QueryTelemetry(time.perf_counter() - t0, payload_bytes)
         return result_cls(
             **fields,

@@ -74,6 +74,31 @@ class Query:
 
     window: tuple[int, int] | None = None
 
+    def to_dict(self) -> dict[str, Any]:
+        """Wire-stable dict form (schema v1, see :mod:`repro.api.wire`)."""
+        from .wire import query_to_dict
+
+        return query_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Query":
+        """Decode a wire dict; raises ``WireFormatError`` when malformed.
+
+        Called on a subclass, the decoded query must be of that
+        subclass — ``ConnectivityQuery.from_dict`` refuses a mincut
+        payload rather than silently returning the wrong type.
+        """
+        from ..errors import WireFormatError
+        from .wire import query_from_dict
+
+        query = query_from_dict(payload)
+        if not isinstance(query, cls):
+            raise WireFormatError(
+                f"payload decodes to {type(query).__name__}, "
+                f"not {cls.__name__}"
+            )
+        return query
+
 
 @dataclass(frozen=True)
 class ConnectivityQuery(Query):
@@ -204,6 +229,26 @@ class QueryResult:
     telemetry: QueryTelemetry = field(
         default_factory=lambda: QueryTelemetry(0.0, 0)
     )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Wire-stable dict form (schema v1, see :mod:`repro.api.wire`)."""
+        from .wire import result_to_dict
+
+        return result_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "QueryResult":
+        """Decode a wire dict; raises ``WireFormatError`` when malformed."""
+        from ..errors import WireFormatError
+        from .wire import result_from_dict
+
+        result = result_from_dict(payload)
+        if not isinstance(result, cls):
+            raise WireFormatError(
+                f"payload decodes to {type(result).__name__}, "
+                f"not {cls.__name__}"
+            )
+        return result
 
 
 @dataclass(frozen=True, kw_only=True)

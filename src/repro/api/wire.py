@@ -1,0 +1,634 @@
+"""Wire-stable dict encoding of queries and results (schema v1).
+
+The engine's typed :class:`~repro.api.Query`/:class:`~repro.api.
+QueryResult` dataclasses gain a stable JSON-able form here — the
+contract the :mod:`repro.serve` HTTP API speaks and the form
+:meth:`GraphSketchEngine.query` accepts directly.  Every payload is an
+envelope carrying the schema version (``"v": 1``), a discriminator
+(``"query"`` / ``"result"``: the capability name), the epoch
+``"window"``, and the kind-specific fields nested under ``"args"``
+(queries) or ``"body"`` (results, alongside ``"kind"``,
+``"capability"`` and ``"telemetry"``).  The nesting keeps per-kind
+field names out of the envelope namespace; all names are **frozen** —
+renaming one is a wire break and fails the snapshot test in
+``tests/test_wire.py``.
+
+Encoding rules
+--------------
+* Scalars are canonicalised to plain Python types (numpy scalars via
+  ``.item()``) so ``json.dumps`` of the dict is deterministic.
+* Non-finite floats — a spanner distance of ``inf`` on a disconnected
+  pair — encode as the strings ``"Infinity"``/``"-Infinity"``/``"NaN"``
+  (strict JSON has no spelling for them).
+* Node sets and edge dicts encode as *sorted* lists, so equal values
+  produce byte-identical JSON.
+* Structured payloads (the sparsifier, the spanner graph) encode as
+  explicit JSON objects; round-trips are exact because graph weights
+  survive JSON's shortest-repr floats exactly.
+* Opaque sketch state never rides a result — snapshots travel as
+  codec-v2 blobs wrapped with :func:`blob_to_wire` (base64).
+
+Malformed payloads raise :class:`~repro.errors.WireFormatError`
+(code ``WIRE_INVALID``), never an arbitrary ``KeyError``/``TypeError``.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import math
+from collections.abc import Callable, Mapping
+from typing import Any
+
+import numpy as np
+
+from ..errors import WireFormatError
+from .queries import (
+    ConnectivityQuery,
+    ConnectivityResult,
+    CutQuery,
+    CutQueryResult,
+    KEdgeConnectivityQuery,
+    KEdgeConnectivityResult,
+    MinCutQuery,
+    MinCutQueryResult,
+    PropertiesQuery,
+    PropertiesResult,
+    Query,
+    QueryResult,
+    QueryTelemetry,
+    SpannerDistanceQuery,
+    SpannerDistanceResult,
+    SparsifierQuery,
+    SparsifierResult,
+    SubgraphCountQuery,
+    SubgraphCountResult,
+)
+
+__all__ = [
+    "WIRE_VERSION",
+    "blob_from_wire",
+    "blob_to_wire",
+    "query_from_dict",
+    "query_to_dict",
+    "result_from_dict",
+    "result_to_dict",
+]
+
+#: Current (and only) wire schema version.
+WIRE_VERSION = 1
+
+
+# -- scalar helpers ------------------------------------------------------------
+
+
+def _fail(msg: str) -> "WireFormatError":
+    return WireFormatError(f"wire schema v{WIRE_VERSION}: {msg}")
+
+
+def _canon(value: Any) -> Any:
+    """Canonicalise one scalar to a plain JSON-able Python value."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "NaN"
+        return "Infinity" if value > 0 else "-Infinity"
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise _fail(f"cannot encode scalar of type {type(value).__name__}")
+
+
+_NONFINITE = {"Infinity": math.inf, "-Infinity": -math.inf, "NaN": math.nan}
+
+
+def _dec_float(value: Any, field: str) -> float:
+    if isinstance(value, str) and value in _NONFINITE:
+        return _NONFINITE[value]
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    raise _fail(f"field {field!r} must be a number, got {value!r}")
+
+
+def _dec_int(value: Any, field: str) -> int:
+    if isinstance(value, int) and not isinstance(value, bool):
+        return value
+    raise _fail(f"field {field!r} must be an integer, got {value!r}")
+
+
+def _dec_opt_int(value: Any, field: str) -> int | None:
+    return None if value is None else _dec_int(value, field)
+
+
+def _dec_bool(value: Any, field: str) -> bool:
+    if isinstance(value, bool):
+        return value
+    raise _fail(f"field {field!r} must be a boolean, got {value!r}")
+
+
+def _dec_str(value: Any, field: str) -> str:
+    if isinstance(value, str):
+        return value
+    raise _fail(f"field {field!r} must be a string, got {value!r}")
+
+
+def _get(payload: Mapping[str, Any], field: str) -> Any:
+    if field not in payload:
+        raise _fail(f"missing required field {field!r}")
+    return payload[field]
+
+
+def _enc_window(window: "tuple[int, int] | None") -> "list[int] | None":
+    return None if window is None else [int(window[0]), int(window[1])]
+
+
+def _dec_window(value: Any) -> "tuple[int, int] | None":
+    if value is None:
+        return None
+    if not isinstance(value, (list, tuple)) or len(value) != 2:
+        raise _fail(f"field 'window' must be null or a [t1, t2] pair, got {value!r}")
+    return (_dec_int(value[0], "window[0]"), _dec_int(value[1], "window[1]"))
+
+
+# -- base64 codec-v2 transport -------------------------------------------------
+
+
+def blob_to_wire(blob: bytes) -> str:
+    """Wrap an opaque codec-v2 blob (sketch/manifest bytes) for JSON."""
+    return base64.b64encode(blob).decode("ascii")
+
+
+def blob_from_wire(text: str) -> bytes:
+    """Decode a :func:`blob_to_wire` string back to codec-v2 bytes."""
+    if not isinstance(text, str):
+        raise _fail(f"blob must be a base64 string, got {type(text).__name__}")
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (binascii.Error, UnicodeEncodeError) as err:
+        raise _fail(f"invalid base64 blob: {err}") from None
+
+
+# -- structured payloads: graphs, sparsifiers, patterns ------------------------
+
+
+def _enc_graph(graph: Any) -> dict[str, Any]:
+    edges = sorted(
+        (int(u), int(v), _canon(float(w))) for u, v, w in graph.weighted_edges()
+    )
+    return {"n": int(graph.n), "edges": [list(e) for e in edges]}
+
+
+def _dec_graph(value: Any, field: str) -> Any:
+    from ..graphs import Graph
+
+    if not isinstance(value, Mapping):
+        raise _fail(f"field {field!r} must be a graph object")
+    n = _dec_int(_get(value, "n"), f"{field}.n")
+    raw = _get(value, "edges")
+    if not isinstance(raw, (list, tuple)):
+        raise _fail(f"field {field!r}.edges must be a list")
+    edges = []
+    for item in raw:
+        if not isinstance(item, (list, tuple)) or len(item) != 3:
+            raise _fail(f"field {field!r}.edges entries must be [u, v, w]")
+        edges.append((
+            _dec_int(item[0], f"{field}.edges[][0]"),
+            _dec_int(item[1], f"{field}.edges[][1]"),
+            _dec_float(item[2], f"{field}.edges[][2]"),
+        ))
+    try:
+        return Graph.from_weighted_edges(n, edges)
+    except Exception as err:
+        raise _fail(f"field {field!r} holds an invalid graph: {err}") from None
+
+
+def _enc_sparsifier(sparsifier: Any) -> dict[str, Any]:
+    levels = sorted(
+        (int(u), int(v), int(level))
+        for (u, v), level in sparsifier.edge_levels.items()
+    )
+    return {
+        "graph": _enc_graph(sparsifier.graph),
+        "epsilon": _canon(float(sparsifier.epsilon)),
+        "edge_levels": [list(e) for e in levels],
+        "memory_cells": int(sparsifier.memory_cells),
+    }
+
+
+def _dec_sparsifier(value: Any, field: str) -> Any:
+    from ..core.sparsifier import Sparsifier
+
+    if not isinstance(value, Mapping):
+        raise _fail(f"field {field!r} must be a sparsifier object")
+    raw_levels = _get(value, "edge_levels")
+    if not isinstance(raw_levels, (list, tuple)):
+        raise _fail(f"field {field!r}.edge_levels must be a list")
+    edge_levels: dict[tuple[int, int], int] = {}
+    for item in raw_levels:
+        if not isinstance(item, (list, tuple)) or len(item) != 3:
+            raise _fail(f"field {field!r}.edge_levels entries must be [u, v, level]")
+        key = (
+            _dec_int(item[0], f"{field}.edge_levels[][0]"),
+            _dec_int(item[1], f"{field}.edge_levels[][1]"),
+        )
+        edge_levels[key] = _dec_int(item[2], f"{field}.edge_levels[][2]")
+    return Sparsifier(
+        graph=_dec_graph(_get(value, "graph"), f"{field}.graph"),
+        epsilon=_dec_float(_get(value, "epsilon"), f"{field}.epsilon"),
+        edge_levels=edge_levels,
+        memory_cells=_dec_int(_get(value, "memory_cells"), f"{field}.memory_cells"),
+    )
+
+
+def _enc_pattern(pattern: Any) -> str:
+    if isinstance(pattern, str):
+        return pattern
+    from ..core import named_patterns
+
+    for name, builtin in named_patterns().items():
+        if builtin == pattern:
+            return name
+    raise _fail(
+        "only built-in (named) patterns have a wire form; got "
+        f"{getattr(pattern, 'name', pattern)!r}"
+    )
+
+
+# -- query codecs --------------------------------------------------------------
+
+
+def _enc_query_connectivity(query: ConnectivityQuery) -> dict[str, Any]:
+    return {"u": _canon(query.u), "v": _canon(query.v)}
+
+
+def _dec_query_connectivity(args: Mapping[str, Any], window: Any) -> ConnectivityQuery:
+    return ConnectivityQuery(
+        u=_dec_opt_int(args.get("u"), "args.u"),
+        v=_dec_opt_int(args.get("v"), "args.v"),
+        window=window,
+    )
+
+
+def _enc_query_cut(query: CutQuery) -> dict[str, Any]:
+    return {"side": sorted(int(node) for node in query.side)}
+
+
+def _dec_query_cut(args: Mapping[str, Any], window: Any) -> CutQuery:
+    raw = _get(args, "side")
+    if not isinstance(raw, (list, tuple)):
+        raise _fail("field 'args.side' must be a list of node ids")
+    side = frozenset(_dec_int(node, "args.side[]") for node in raw)
+    if not side:
+        raise _fail("field 'args.side' must be a non-empty list of node ids")
+    return CutQuery(side=side, window=window)
+
+
+def _enc_query_spanner(query: SpannerDistanceQuery) -> dict[str, Any]:
+    return {"source": _canon(query.source), "target": _canon(query.target)}
+
+
+def _dec_query_spanner(args: Mapping[str, Any], window: Any) -> SpannerDistanceQuery:
+    return SpannerDistanceQuery(
+        source=_dec_opt_int(args.get("source"), "args.source"),
+        target=_dec_opt_int(args.get("target"), "args.target"),
+        window=window,
+    )
+
+
+def _enc_query_subgraph(query: SubgraphCountQuery) -> dict[str, Any]:
+    return {"pattern": _enc_pattern(query.pattern)}
+
+
+def _dec_query_subgraph(args: Mapping[str, Any], window: Any) -> SubgraphCountQuery:
+    return SubgraphCountQuery(
+        pattern=_dec_str(_get(args, "pattern"), "args.pattern"),
+        window=window,
+    )
+
+
+def _enc_query_bare(query: Query) -> dict[str, Any]:
+    return {}
+
+
+def _make_dec_bare(
+    cls: "type[Query]",
+) -> "Callable[[Mapping[str, Any], Any], Query]":
+    def decode(args: Mapping[str, Any], window: Any) -> Query:
+        return cls(window=window)
+
+    return decode
+
+
+_QUERY_ENCODERS: "dict[type, tuple[str, Callable[[Any], dict[str, Any]]]]" = {
+    ConnectivityQuery: ("connectivity", _enc_query_connectivity),
+    KEdgeConnectivityQuery: ("k-edge-connectivity", _enc_query_bare),
+    MinCutQuery: ("mincut", _enc_query_bare),
+    CutQuery: ("cut-query", _enc_query_cut),
+    SparsifierQuery: ("sparsifier", _enc_query_bare),
+    SpannerDistanceQuery: ("spanner-distance", _enc_query_spanner),
+    SubgraphCountQuery: ("subgraph-count", _enc_query_subgraph),
+    PropertiesQuery: ("properties", _enc_query_bare),
+}
+
+_QUERY_DECODERS: "dict[str, Callable[[Mapping[str, Any], Any], Query]]" = {
+    "connectivity": _dec_query_connectivity,
+    "k-edge-connectivity": _make_dec_bare(KEdgeConnectivityQuery),
+    "mincut": _make_dec_bare(MinCutQuery),
+    "cut-query": _dec_query_cut,
+    "sparsifier": _make_dec_bare(SparsifierQuery),
+    "spanner-distance": _dec_query_spanner,
+    "subgraph-count": _dec_query_subgraph,
+    "properties": _make_dec_bare(PropertiesQuery),
+}
+
+
+def query_to_dict(query: Query) -> dict[str, Any]:
+    """Encode one typed query as its wire-stable dict."""
+    entry = _QUERY_ENCODERS.get(type(query))
+    if entry is None:
+        raise _fail(f"{type(query).__name__} has no wire form")
+    name, encode = entry
+    return {
+        "v": WIRE_VERSION,
+        "query": name,
+        "window": _enc_window(query.window),
+        "args": encode(query),
+    }
+
+
+def _check_envelope(payload: Any, discriminator: str) -> Mapping[str, Any]:
+    if not isinstance(payload, Mapping):
+        raise _fail(
+            f"payload must be a mapping, got {type(payload).__name__}"
+        )
+    version = payload.get("v")
+    if version != WIRE_VERSION:
+        raise _fail(
+            f"unsupported schema version {version!r} (this library speaks "
+            f"v{WIRE_VERSION})"
+        )
+    if discriminator not in payload:
+        raise _fail(f"missing discriminator field {discriminator!r}")
+    return payload
+
+
+def query_from_dict(payload: "Mapping[str, Any]") -> Query:
+    """Decode a wire dict back to the typed query it names."""
+    payload = _check_envelope(payload, "query")
+    name = _dec_str(payload["query"], "query")
+    decode = _QUERY_DECODERS.get(name)
+    if decode is None:
+        raise _fail(
+            f"unknown query kind {name!r}; known: "
+            f"{', '.join(sorted(_QUERY_DECODERS))}"
+        )
+    args = payload.get("args", {})
+    if not isinstance(args, Mapping):
+        raise _fail("field 'args' must be a mapping")
+    return decode(args, _dec_window(payload.get("window")))
+
+
+# -- result codecs -------------------------------------------------------------
+
+
+def _enc_result_connectivity(result: ConnectivityResult) -> dict[str, Any]:
+    return {
+        "connected": _canon(result.connected),
+        "components": _canon(result.components),
+        "forest_edges": _canon(result.forest_edges),
+        "same_component": _canon(result.same_component),
+    }
+
+
+def _dec_result_connectivity(p: Mapping[str, Any]) -> dict[str, Any]:
+    same = p.get("same_component")
+    return {
+        "connected": _dec_bool(_get(p, "connected"), "connected"),
+        "components": _dec_int(_get(p, "components"), "components"),
+        "forest_edges": _dec_int(_get(p, "forest_edges"), "forest_edges"),
+        "same_component": None if same is None else _dec_bool(same, "same_component"),
+    }
+
+
+def _enc_result_k_edge(result: KEdgeConnectivityResult) -> dict[str, Any]:
+    return {
+        "k": _canon(result.k),
+        "witness_edges": _canon(result.witness_edges),
+        "is_k_connected": _canon(result.is_k_connected),
+    }
+
+
+def _dec_result_k_edge(p: Mapping[str, Any]) -> dict[str, Any]:
+    return {
+        "k": _dec_int(_get(p, "k"), "k"),
+        "witness_edges": _dec_int(_get(p, "witness_edges"), "witness_edges"),
+        "is_k_connected": _dec_bool(_get(p, "is_k_connected"), "is_k_connected"),
+    }
+
+
+def _enc_result_mincut(result: MinCutQueryResult) -> dict[str, Any]:
+    return {
+        "value": _canon(float(result.value)),
+        "stop_level": _canon(result.stop_level),
+    }
+
+
+def _dec_result_mincut(p: Mapping[str, Any]) -> dict[str, Any]:
+    return {
+        "value": _dec_float(_get(p, "value"), "value"),
+        "stop_level": _dec_int(_get(p, "stop_level"), "stop_level"),
+    }
+
+
+def _enc_result_cut(result: CutQueryResult) -> dict[str, Any]:
+    return {
+        "crossing_edges": [
+            [int(u), int(v), int(mult)] for u, v, mult in result.crossing_edges
+        ],
+        "cut_value": _canon(result.cut_value),
+    }
+
+
+def _dec_result_cut(p: Mapping[str, Any]) -> dict[str, Any]:
+    raw = _get(p, "crossing_edges")
+    if not isinstance(raw, (list, tuple)):
+        raise _fail("field 'crossing_edges' must be a list")
+    triples = []
+    for item in raw:
+        if not isinstance(item, (list, tuple)) or len(item) != 3:
+            raise _fail("field 'crossing_edges' entries must be [u, v, mult]")
+        triples.append((
+            _dec_int(item[0], "crossing_edges[][0]"),
+            _dec_int(item[1], "crossing_edges[][1]"),
+            _dec_int(item[2], "crossing_edges[][2]"),
+        ))
+    return {
+        "crossing_edges": tuple(triples),
+        "cut_value": _dec_int(_get(p, "cut_value"), "cut_value"),
+    }
+
+
+def _enc_result_sparsifier(result: SparsifierResult) -> dict[str, Any]:
+    return {
+        "edges": _canon(result.edges),
+        "epsilon": _canon(float(result.epsilon)),
+        "sparsifier": _enc_sparsifier(result.sparsifier),
+    }
+
+
+def _dec_result_sparsifier(p: Mapping[str, Any]) -> dict[str, Any]:
+    return {
+        "edges": _dec_int(_get(p, "edges"), "edges"),
+        "epsilon": _dec_float(_get(p, "epsilon"), "epsilon"),
+        "sparsifier": _dec_sparsifier(_get(p, "sparsifier"), "sparsifier"),
+    }
+
+
+def _enc_result_spanner(result: SpannerDistanceResult) -> dict[str, Any]:
+    return {
+        "edges": _canon(result.edges),
+        "batches": _canon(result.batches),
+        "stretch_bound": _canon(float(result.stretch_bound)),
+        "shipped_bytes": _canon(result.shipped_bytes),
+        "distance": (
+            None if result.distance is None else _canon(float(result.distance))
+        ),
+        "spanner": (
+            None if result.spanner is None else _enc_graph(result.spanner)
+        ),
+    }
+
+
+def _dec_result_spanner(p: Mapping[str, Any]) -> dict[str, Any]:
+    distance = p.get("distance")
+    spanner = p.get("spanner")
+    return {
+        "edges": _dec_int(_get(p, "edges"), "edges"),
+        "batches": _dec_int(_get(p, "batches"), "batches"),
+        "stretch_bound": _dec_float(_get(p, "stretch_bound"), "stretch_bound"),
+        "shipped_bytes": _dec_int(_get(p, "shipped_bytes"), "shipped_bytes"),
+        "distance": None if distance is None else _dec_float(distance, "distance"),
+        "spanner": None if spanner is None else _dec_graph(spanner, "spanner"),
+    }
+
+
+def _enc_result_subgraph(result: SubgraphCountResult) -> dict[str, Any]:
+    return {
+        "pattern": _canon(result.pattern),
+        "gamma": _canon(float(result.gamma)),
+        "samples_used": _canon(result.samples_used),
+        "samples_failed": _canon(result.samples_failed),
+    }
+
+
+def _dec_result_subgraph(p: Mapping[str, Any]) -> dict[str, Any]:
+    return {
+        "pattern": _dec_str(_get(p, "pattern"), "pattern"),
+        "gamma": _dec_float(_get(p, "gamma"), "gamma"),
+        "samples_used": _dec_int(_get(p, "samples_used"), "samples_used"),
+        "samples_failed": _dec_int(_get(p, "samples_failed"), "samples_failed"),
+    }
+
+
+def _enc_result_properties(result: PropertiesResult) -> dict[str, Any]:
+    return {
+        "values": {
+            str(key): _canon(value) for key, value in result.values.items()
+        },
+    }
+
+
+def _dec_result_properties(p: Mapping[str, Any]) -> dict[str, Any]:
+    raw = _get(p, "values")
+    if not isinstance(raw, Mapping):
+        raise _fail("field 'values' must be a mapping")
+    values: dict[str, Any] = {}
+    for key, value in raw.items():
+        name = _dec_str(key, "values key")
+        if isinstance(value, str) and value in _NONFINITE:
+            value = _NONFINITE[value]
+        elif not (value is None or isinstance(value, (bool, int, float, str))):
+            raise _fail(f"field 'values[{name}]' must be a JSON scalar")
+        values[name] = value
+    return {"values": values}
+
+
+_RESULT_CODECS: "dict[type, tuple[str, Callable[[Any], dict[str, Any]], Callable[[Mapping[str, Any]], dict[str, Any]]]]" = {  # noqa: E501
+    ConnectivityResult: (
+        "connectivity", _enc_result_connectivity, _dec_result_connectivity,
+    ),
+    KEdgeConnectivityResult: (
+        "k-edge-connectivity", _enc_result_k_edge, _dec_result_k_edge,
+    ),
+    MinCutQueryResult: ("mincut", _enc_result_mincut, _dec_result_mincut),
+    CutQueryResult: ("cut-query", _enc_result_cut, _dec_result_cut),
+    SparsifierResult: (
+        "sparsifier", _enc_result_sparsifier, _dec_result_sparsifier,
+    ),
+    SpannerDistanceResult: (
+        "spanner-distance", _enc_result_spanner, _dec_result_spanner,
+    ),
+    SubgraphCountResult: (
+        "subgraph-count", _enc_result_subgraph, _dec_result_subgraph,
+    ),
+    PropertiesResult: (
+        "properties", _enc_result_properties, _dec_result_properties,
+    ),
+}
+
+_RESULT_BY_NAME: "dict[str, type]" = {
+    name: cls for cls, (name, _enc, _dec) in _RESULT_CODECS.items()
+}
+
+
+def result_to_dict(result: QueryResult) -> dict[str, Any]:
+    """Encode one typed result as its wire-stable dict."""
+    entry = _RESULT_CODECS.get(type(result))
+    if entry is None:
+        raise _fail(f"{type(result).__name__} has no wire form")
+    name, encode, _decode = entry
+    return {
+        "v": WIRE_VERSION,
+        "result": name,
+        "kind": str(result.kind),
+        "capability": str(result.capability),
+        "window": _enc_window(result.window),
+        "telemetry": {
+            "seconds": _canon(float(result.telemetry.seconds)),
+            "payload_bytes": _canon(int(result.telemetry.payload_bytes)),
+        },
+        "body": encode(result),
+    }
+
+
+def result_from_dict(payload: "Mapping[str, Any]") -> QueryResult:
+    """Decode a wire dict back to the typed result it names."""
+    payload = _check_envelope(payload, "result")
+    name = _dec_str(payload["result"], "result")
+    cls = _RESULT_BY_NAME.get(name)
+    if cls is None:
+        raise _fail(
+            f"unknown result kind {name!r}; known: "
+            f"{', '.join(sorted(_RESULT_BY_NAME))}"
+        )
+    _name, _encode, decode = _RESULT_CODECS[cls]
+    raw_telemetry = _get(payload, "telemetry")
+    if not isinstance(raw_telemetry, Mapping):
+        raise _fail("field 'telemetry' must be a mapping")
+    telemetry = QueryTelemetry(
+        seconds=_dec_float(_get(raw_telemetry, "seconds"), "telemetry.seconds"),
+        payload_bytes=_dec_int(
+            _get(raw_telemetry, "payload_bytes"), "telemetry.payload_bytes"
+        ),
+    )
+    body = _get(payload, "body")
+    if not isinstance(body, Mapping):
+        raise _fail("field 'body' must be a mapping")
+    fields = decode(body)
+    return cls(
+        **fields,
+        kind=_dec_str(_get(payload, "kind"), "kind"),
+        capability=_dec_str(_get(payload, "capability"), "capability"),
+        window=_dec_window(payload.get("window")),
+        telemetry=telemetry,
+    )

@@ -17,7 +17,10 @@ Sub-commands:
   ``--out``;
 * ``window-query --from T1 --to T2`` — restore an engine from a
   manifest (or build a demo timeline) and answer the epoch window
-  [T1, T2) by checkpoint subtraction.
+  [T1, T2) by checkpoint subtraction;
+* ``serve`` — run the :mod:`repro.serve` async ingestion/query service
+  over HTTP (needs the ``repro[serve]`` extra for uvicorn; see
+  ``docs/SERVING.md``).
 
 All four demo-flavoured subcommands share one workload/spec helper
 (:func:`_demo_setup`): the point of the engine API is that *the same
@@ -31,6 +34,21 @@ import sys
 import time
 
 __all__ = ["main"]
+
+
+def _print_error(err: Exception, context: str = "") -> None:
+    """Print one CLI error line, surfacing the stable machine code.
+
+    Library failures (:class:`~repro.errors.ReproError`) carry a stable
+    ``code`` string — the same one the serve API returns in error
+    bodies — so scripted callers can dispatch on ``error[CODE]:``
+    without parsing prose.  Non-library errors print the plain prefix.
+    """
+    from .errors import ReproError
+
+    prefix = f"error[{err.code}]" if isinstance(err, ReproError) else "error"
+    lead = f"{context}: " if context else ""
+    print(f"{prefix}: {lead}{err}", file=sys.stderr)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -274,7 +292,7 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
                 min_granularity=args.granularity or 1,
             )
         except ValueError as err:
-            print(f"error: {err}", file=sys.stderr)
+            _print_error(err)
             return 2
     seed = args.seed
     graph, stream, specs = _demo_setup(seed)
@@ -290,7 +308,7 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
             boundaries = _parse_boundaries(args.boundaries)
             normalize_boundaries(len(stream), None, boundaries)
         except ValueError as err:
-            print(f"error: {err}", file=sys.stderr)
+            _print_error(err)
             return 2
         epochs = None
     grid = (f"{len(boundaries)} explicit epochs" if boundaries is not None
@@ -308,7 +326,7 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
             store=args.store, retention=retention, horizon=args.horizon,
         ).ingest(stream)
     except EpochStoreError as err:
-        print(f"error: {err}", file=sys.stderr)
+        _print_error(err)
         return 2
     if args.sites > 1:
         report = engine.last_report
@@ -408,7 +426,7 @@ def _cmd_window_query(args: argparse.Namespace) -> int:
         try:
             engine = GraphSketchEngine.attach_store(args.store)
         except (ValueError, EpochStoreError) as err:
-            print(f"error: cannot open store: {err}", file=sys.stderr)
+            _print_error(err, context="cannot open store")
             return 2
         store = engine.store
         print(
@@ -421,7 +439,7 @@ def _cmd_window_query(args: argparse.Namespace) -> int:
         try:
             engine = GraphSketchEngine.restore(data)
         except (ValueError, EpochStoreError) as err:
-            print(f"error: cannot load manifest: {err}", file=sys.stderr)
+            _print_error(err, context="cannot load manifest")
             return 2
         print(
             f"manifest: {engine.epochs_sealed} epochs of {engine.spec.kind}"
@@ -446,7 +464,7 @@ def _cmd_window_query(args: argparse.Namespace) -> int:
     except (ValueError, EpochStoreError) as err:
         # EpochStoreError is not a ValueError: retention refusals
         # (evicted epochs, sub-granularity endpoints) exit 2 too.
-        print(f"error: {err}", file=sys.stderr)
+        _print_error(err)
         return 2
     if engine.store is not None:
         loads = len(engine.store.plan_window(t1, t2))
@@ -459,6 +477,34 @@ def _cmd_window_query(args: argparse.Namespace) -> int:
               f"({result.telemetry.payload_bytes} checkpoint bytes, "
               f"{result.telemetry.seconds * 1e3:.1f} ms)")
         _print_result(result)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the ingestion/query service under uvicorn (repro[serve])."""
+    from .serve import ServeConfig, create_app
+
+    try:
+        config = ServeConfig(
+            queue_capacity=args.queue_capacity,
+            idempotency_ttl=args.idempotency_ttl,
+        )
+    except ValueError as err:
+        _print_error(err)
+        return 2
+    try:
+        import uvicorn
+    except ImportError:
+        print(
+            "error: serving over the network needs uvicorn — install the "
+            "serve extra (pip install 'repro-graph-sketches[serve]'); "
+            "in-process use works without it via repro.serve.create_app()",
+            file=sys.stderr,
+        )
+        return 2
+    uvicorn.run(
+        create_app(config), host=args.host, port=args.port, log_level="info"
+    )
     return 0
 
 
@@ -557,6 +603,20 @@ def main(argv: list[str] | None = None) -> int:
                           help="epochs for the demo timeline (default 6)")
     p_window.add_argument("--seed", type=int, default=0)
     p_window.set_defaults(func=_cmd_window_query)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the async ingestion/query service (needs repro[serve])",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8042)
+    p_serve.add_argument("--queue-capacity", type=int, default=64,
+                         help="bound on the ingest job queue; full → 429 "
+                              "(default 64)")
+    p_serve.add_argument("--idempotency-ttl", type=float, default=300.0,
+                         help="seconds a client batch id is remembered for "
+                              "replay detection (default 300)")
+    p_serve.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.func(args)

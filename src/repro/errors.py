@@ -6,13 +6,26 @@ Sketch-level *expected* failures (an ℓ₀ sampler returning FAIL, a sparse
 recovery on a vector with too many non-zeros) are modelled as exceptions
 deriving from :class:`SketchFailure`; they correspond to the explicit
 FAIL outcomes in the paper (Theorems 2.1 and 2.2) rather than bugs.
+
+Every public exception additionally carries a stable machine-readable
+:attr:`~ReproError.code` string — the contract surfaced in CLI error
+exits (``error[NOT_SUPPORTED]: ...``) and in the error bodies of the
+:mod:`repro.serve` wire API, where clients dispatch on the code rather
+than parse prose.  Codes are part of the wire format: renaming one is a
+breaking change and must update the snapshot table pinned by
+``tests/test_error_codes.py``.
 """
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` package."""
+
+    #: Stable machine-readable error code (wire-format contract).
+    code: ClassVar[str] = "REPRO_ERROR"
 
 
 class StreamError(ReproError):
@@ -23,9 +36,13 @@ class StreamError(ReproError):
     Definition 1 of the paper requires non-negative multiplicities).
     """
 
+    code: ClassVar[str] = "STREAM_INVALID"
+
 
 class GraphError(ReproError):
     """An ill-formed graph or an invalid graph-algorithm request."""
+
+    code: ClassVar[str] = "GRAPH_INVALID"
 
 
 class SketchCompatibilityError(ReproError, ValueError):
@@ -39,6 +56,8 @@ class SketchCompatibilityError(ReproError, ValueError):
     :class:`ValueError` so pre-existing callers catching ``ValueError``
     keep working.
     """
+
+    code: ClassVar[str] = "SKETCH_INCOMPATIBLE"
 
 
 def incompatible(
@@ -72,6 +91,8 @@ class EpochStoreError(ReproError):
     path that holds no store.
     """
 
+    code: ClassVar[str] = "STORE_INVALID"
+
 
 class StoreCorruptionError(EpochStoreError):
     """On-disk epoch-store state failed an integrity check.
@@ -83,6 +104,8 @@ class StoreCorruptionError(EpochStoreError):
     epochs whose segments are intact, and the store remains openable.
     """
 
+    code: ClassVar[str] = "STORE_CORRUPT"
+
 
 class SketchFailure(ReproError):
     """Base class for *expected*, probabilistic sketch failures.
@@ -93,6 +116,8 @@ class SketchFailure(ReproError):
     programming errors.
     """
 
+    code: ClassVar[str] = "SKETCH_FAILURE"
+
 
 class SamplerFailed(SketchFailure):
     """An ℓ₀ sampler could not produce a sample (the FAIL outcome).
@@ -101,6 +126,8 @@ class SamplerFailed(SketchFailure):
     vector is identically zero or every recovery cell was polluted by
     collisions.
     """
+
+    code: ClassVar[str] = "SAMPLER_FAILED"
 
 
 class RecoveryFailed(SketchFailure):
@@ -111,6 +138,8 @@ class RecoveryFailed(SketchFailure):
     process got stuck.
     """
 
+    code: ClassVar[str] = "RECOVERY_FAILED"
+
 
 class AdaptivityError(ReproError):
     """An adaptive (multi-batch) sketch was driven out of order.
@@ -120,6 +149,8 @@ class AdaptivityError(ReproError):
     the outcomes of batches ``1..r-1`` are known.
     """
 
+    code: ClassVar[str] = "ADAPTIVITY_VIOLATION"
+
 
 class NotSupportedError(ReproError):
     """A request outside the implemented parameter range.
@@ -127,3 +158,43 @@ class NotSupportedError(ReproError):
     For example pattern subgraphs on more than five nodes, where the
     generic encoding enumeration would be astronomically slow.
     """
+
+    code: ClassVar[str] = "NOT_SUPPORTED"
+
+
+class WireFormatError(ReproError, ValueError):
+    """A malformed wire payload (query/result dict or serve request).
+
+    Raised by :mod:`repro.api.wire` and the :mod:`repro.serve` request
+    parsers for payloads the wire schema cannot decode: missing or
+    unknown schema version, unknown query/result kind, wrong field
+    types, undecodable base64 blobs.  Subclasses :class:`ValueError`
+    so generic "bad input" handlers keep working.
+    """
+
+    code: ClassVar[str] = "WIRE_INVALID"
+
+
+def error_code_table() -> dict[str, str]:
+    """The full ``exception name → stable code`` table, sorted by name.
+
+    This *is* the wire contract: ``tests/test_error_codes.py`` pins it
+    name for name, so adding an exception means extending the snapshot
+    deliberately and renaming a code fails the suite.
+    """
+    return {
+        cls.__name__: cls.code
+        for cls in sorted(_walk_public_errors(), key=lambda c: c.__name__)
+    }
+
+
+def _walk_public_errors() -> "set[type[ReproError]]":
+    """Every public exception class in this module (``ReproError`` down)."""
+    found: set[type[ReproError]] = set()
+    frontier = [ReproError]
+    while frontier:
+        cls = frontier.pop()
+        if cls.__module__ == __name__ and not cls.__name__.startswith("_"):
+            found.add(cls)
+        frontier.extend(cls.__subclasses__())
+    return found

@@ -1,0 +1,46 @@
+"""``repro.serve`` — async ingestion/query service over graph sketches.
+
+Linearity is what makes sketches *servable*: ingestion is mergeable and
+order-insensitive within a tenant, so a bounded queue drained off the
+event loop absorbs bursty update streams while queries answer from
+whatever prefix has drained — with read-your-writes on demand via the
+flush endpoint.  The wire contract is the schema-v1 dict encoding from
+:mod:`repro.api.wire` plus the stable error codes from
+:mod:`repro.errors`.
+
+The service core is dependency-free (pure ASGI on stdlib asyncio);
+running it as a network server needs an ASGI server — install the
+``repro[serve]`` extra for ``uvicorn`` and use the ``repro serve`` CLI.
+In-process use needs no server at all::
+
+    from repro.serve import ServeConfig, create_app
+    from repro.serve.testing import AsgiClient
+
+    app = create_app(ServeConfig(queue_capacity=128))
+    async with AsgiClient(app) as client:
+        await client.post("/v1/tenants", json={
+            "name": "t1", "spec": {"kind": "spanning_forest", "n": 64},
+        })
+"""
+
+from __future__ import annotations
+
+from .app import ServeApp, create_app
+from .config import ServeConfig
+from .idempotency import IdempotencyStore
+from .queue import IngestJob, IngestQueue, QueueFull
+from .tenants import DuplicateTenant, Tenant, TenantRegistry, UnknownTenant
+
+__all__ = [
+    "DuplicateTenant",
+    "IdempotencyStore",
+    "IngestJob",
+    "IngestQueue",
+    "QueueFull",
+    "ServeApp",
+    "ServeConfig",
+    "Tenant",
+    "TenantRegistry",
+    "UnknownTenant",
+    "create_app",
+]

@@ -1,0 +1,446 @@
+"""The ASGI application: ingestion/query service over graph sketches.
+
+Pure ASGI 3 on the stdlib event loop — no web framework.  The app is a
+plain callable, so it runs under any ASGI server (``uvicorn`` via the
+``repro serve`` CLI, the ``repro[serve]`` extra) and is testable
+in-process with the bundled :class:`repro.serve.testing.AsgiClient` or
+``httpx.ASGITransport``, no sockets involved.
+
+Routes (all bodies JSON; errors are ``{"error": {"code", "message"}}``)::
+
+    GET    /healthz                     liveness
+    GET    /metrics                     Prometheus text format
+    GET    /v1/tenants                  list tenant names
+    POST   /v1/tenants                  declare a tenant (spec + deployment)
+    GET    /v1/tenants/{t}              tenant info + counters
+    DELETE /v1/tenants/{t}              close the engine, forget the tenant
+    POST   /v1/tenants/{t}/batches      submit one update batch (202;
+                                        replay of a batch_id -> 200 with
+                                        the original receipt; queue full
+                                        -> 429 + Retry-After)
+    POST   /v1/tenants/{t}/stream       NDJSON update stream (one JSON
+                                        update per line; backpressure by
+                                        connection flow control)
+    POST   /v1/tenants/{t}/flush        wait until admitted jobs drained
+    POST   /v1/tenants/{t}/seal         seal an epoch (temporal tenants)
+    POST   /v1/tenants/{t}/query        wire-schema query dict in,
+                                        wire-schema result dict out
+    GET    /v1/tenants/{t}/snapshot     codec-v2 engine snapshot (base64)
+
+Error codes on the wire are the stable :mod:`repro.errors` codes
+(``NOT_SUPPORTED``, ``WIRE_INVALID``, ``STREAM_INVALID``...) plus the
+service-level ``TENANT_UNKNOWN``/``TENANT_EXISTS``/``QUEUE_FULL``/
+``SHUTTING_DOWN``/``NOT_FOUND``/``METHOD_NOT_ALLOWED``/``BAD_REQUEST``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import time
+from collections.abc import Awaitable, Callable, Mapping
+from typing import Any
+
+from ..api.wire import blob_to_wire
+from ..errors import NotSupportedError, ReproError, StreamError, WireFormatError
+from .config import ServeConfig
+from .idempotency import IdempotencyStore
+from .metrics import render_metrics
+from .queue import IngestJob, IngestQueue, QueueFull
+from .tenants import (
+    DuplicateTenant,
+    Tenant,
+    TenantRegistry,
+    UnknownTenant,
+    parse_update,
+    parse_updates,
+)
+
+__all__ = ["ServeApp", "create_app"]
+
+_Receive = Callable[[], Awaitable[Mapping[str, Any]]]
+_Send = Callable[[Mapping[str, Any]], Awaitable[None]]
+
+
+class _HttpError(Exception):
+    """Internal: aborts a handler with a mapped HTTP error response."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        headers: "dict[str, str] | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.headers = headers or {}
+
+
+def _map_exception(err: Exception, retry_after: int) -> _HttpError:
+    """Translate library/service exceptions to wire errors."""
+    if isinstance(err, _HttpError):
+        return err
+    if isinstance(err, UnknownTenant):
+        return _HttpError(404, "TENANT_UNKNOWN", str(err))
+    if isinstance(err, DuplicateTenant):
+        return _HttpError(409, "TENANT_EXISTS", str(err))
+    if isinstance(err, QueueFull):
+        return _HttpError(
+            429, "QUEUE_FULL", str(err),
+            headers={"retry-after": str(retry_after)},
+        )
+    if isinstance(err, NotSupportedError):
+        return _HttpError(422, err.code, str(err))
+    if isinstance(err, (WireFormatError, StreamError)):
+        return _HttpError(400, err.code, str(err))
+    if isinstance(err, ReproError):
+        return _HttpError(500, err.code, str(err))
+    if isinstance(err, (ValueError, TypeError)):
+        return _HttpError(400, "BAD_REQUEST", str(err))
+    raise err
+
+
+class ServeApp:
+    """The service: tenant registry + ingest queue + ASGI surface."""
+
+    def __init__(
+        self,
+        config: "ServeConfig | None" = None,
+        clock: "Callable[[], float]" = time.monotonic,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.registry = TenantRegistry()
+        self.queue = IngestQueue(self.config.queue_capacity)
+        self.idempotency = IdempotencyStore(
+            self.config.idempotency_ttl, clock
+        )
+        self._drainer: "asyncio.Task[None] | None" = None
+        self._accepting = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def startup(self) -> None:
+        """Start the drainer; idempotent."""
+        if self._drainer is None:
+            self._drainer = asyncio.get_running_loop().create_task(
+                self.queue.drain_forever()
+            )
+        self._accepting = True
+
+    async def shutdown(self) -> None:
+        """Graceful: refuse new work, drain the queue, close engines."""
+        self._accepting = False
+        if self._drainer is not None:
+            await self.queue.join()
+            self._drainer.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._drainer
+            self._drainer = None
+        self.registry.close_all()
+
+    def _require_accepting(self) -> None:
+        if not self._accepting:
+            raise _HttpError(
+                503, "SHUTTING_DOWN", "service is shutting down"
+            )
+
+    # -- ASGI entry point ------------------------------------------------------
+
+    async def __call__(
+        self,
+        scope: Mapping[str, Any],
+        receive: _Receive,
+        send: _Send,
+    ) -> None:
+        if scope["type"] == "lifespan":
+            await self._lifespan(receive, send)
+            return
+        if scope["type"] != "http":  # pragma: no cover - server-dependent
+            raise NotSupportedError(f"unsupported ASGI scope {scope['type']!r}")
+        # Fairness checkpoint: a request that fails fast (e.g. 429 on a
+        # full queue) may otherwise never suspend, and over a
+        # zero-latency transport a retry loop would starve the drainer.
+        await asyncio.sleep(0)
+        try:
+            status, payload, headers = await self._dispatch(scope, receive)
+        except Exception as err:  # noqa: BLE001 - the error boundary
+            mapped = _map_exception(err, self.config.retry_after_seconds)
+            status = mapped.status
+            payload = {"error": {"code": mapped.code, "message": mapped.message}}
+            headers = mapped.headers
+        await self._respond(send, status, payload, headers)
+
+    async def _lifespan(self, receive: _Receive, send: _Send) -> None:
+        while True:
+            message = await receive()
+            if message["type"] == "lifespan.startup":
+                await self.startup()
+                await send({"type": "lifespan.startup.complete"})
+            elif message["type"] == "lifespan.shutdown":
+                await self.shutdown()
+                await send({"type": "lifespan.shutdown.complete"})
+                return
+
+    async def _respond(
+        self,
+        send: _Send,
+        status: int,
+        payload: "Mapping[str, Any] | str",
+        headers: "Mapping[str, str] | None" = None,
+    ) -> None:
+        if isinstance(payload, str):
+            body = payload.encode()
+            content_type = b"text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload, sort_keys=True).encode()
+            content_type = b"application/json"
+        raw_headers = [
+            (b"content-type", content_type),
+            (b"content-length", str(len(body)).encode()),
+        ]
+        for key, value in (headers or {}).items():
+            raw_headers.append((key.encode(), value.encode()))
+        await send({
+            "type": "http.response.start",
+            "status": status,
+            "headers": raw_headers,
+        })
+        await send({"type": "http.response.body", "body": body})
+
+    # -- request plumbing ------------------------------------------------------
+
+    async def _read_body(self, receive: _Receive) -> bytes:
+        chunks: list[bytes] = []
+        while True:
+            message = await receive()
+            if message["type"] == "http.disconnect":
+                raise _HttpError(400, "BAD_REQUEST", "client disconnected")
+            chunks.append(message.get("body", b""))
+            if not message.get("more_body", False):
+                return b"".join(chunks)
+
+    async def _read_json(self, receive: _Receive) -> Any:
+        body = await self._read_body(receive)
+        if not body:
+            return {}
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as err:
+            raise _HttpError(
+                400, "BAD_REQUEST", f"request body is not valid JSON: {err}"
+            ) from None
+
+    async def _dispatch(
+        self, scope: Mapping[str, Any], receive: _Receive
+    ) -> "tuple[int, Mapping[str, Any] | str, dict[str, str]]":
+        method: str = scope["method"]
+        parts = [p for p in scope["path"].split("/") if p]
+        if parts == ["healthz"] and method == "GET":
+            return 200, {"status": "ok"}, {}
+        if parts == ["metrics"] and method == "GET":
+            return 200, render_metrics(self), {}
+        if len(parts) >= 2 and parts[0] == "v1" and parts[1] == "tenants":
+            return await self._dispatch_tenants(method, parts[2:], receive)
+        raise _HttpError(404, "NOT_FOUND", f"no route {scope['path']!r}")
+
+    async def _dispatch_tenants(
+        self, method: str, rest: "list[str]", receive: _Receive
+    ) -> "tuple[int, Mapping[str, Any] | str, dict[str, str]]":
+        if not rest:
+            if method == "GET":
+                return 200, {"tenants": self.registry.names()}, {}
+            if method == "POST":
+                return await self._create_tenant(receive)
+            raise _HttpError(405, "METHOD_NOT_ALLOWED", f"{method} not allowed")
+        tenant_name = rest[0]
+        action = rest[1] if len(rest) > 1 else None
+        if len(rest) > 2:
+            raise _HttpError(404, "NOT_FOUND", "no such route")
+        if action is None:
+            tenant = self.registry.get(tenant_name)
+            if method == "GET":
+                return 200, tenant.info(), {}
+            if method == "DELETE":
+                async with tenant.lock:
+                    self.registry.remove(tenant_name)
+                    self.idempotency.forget_tenant(tenant_name)
+                return 200, {"deleted": tenant_name}, {}
+            raise _HttpError(405, "METHOD_NOT_ALLOWED", f"{method} not allowed")
+        handlers: dict[
+            str,
+            Callable[
+                [Tenant, _Receive],
+                Awaitable[tuple[int, Mapping[str, Any], dict[str, str]]],
+            ],
+        ] = {
+            "batches": self._submit_batch,
+            "stream": self._submit_stream,
+            "flush": self._flush,
+            "seal": self._seal,
+            "query": self._query,
+            "snapshot": self._snapshot,
+        }
+        handler = handlers.get(action)
+        if handler is None:
+            raise _HttpError(404, "NOT_FOUND", f"no tenant action {action!r}")
+        expected = "GET" if action == "snapshot" else "POST"
+        if method != expected:
+            raise _HttpError(405, "METHOD_NOT_ALLOWED", f"{method} not allowed")
+        return await handler(self.registry.get(tenant_name), receive)
+
+    # -- handlers --------------------------------------------------------------
+
+    async def _create_tenant(
+        self, receive: _Receive
+    ) -> "tuple[int, Mapping[str, Any], dict[str, str]]":
+        self._require_accepting()
+        payload = await self._read_json(receive)
+        tenant = await asyncio.to_thread(self.registry.create, payload)
+        return 201, tenant.info(), {}
+
+    async def _submit_batch(
+        self, tenant: Tenant, receive: _Receive
+    ) -> "tuple[int, Mapping[str, Any], dict[str, str]]":
+        self._require_accepting()
+        payload = await self._read_json(receive)
+        if not isinstance(payload, Mapping):
+            raise _HttpError(400, "BAD_REQUEST", "body must be an object")
+        batch_id = payload.get("batch_id")
+        if batch_id is not None and not isinstance(batch_id, str):
+            raise _HttpError(400, "BAD_REQUEST", "batch_id must be a string")
+        if batch_id is not None:
+            original = self.idempotency.recall(tenant.name, batch_id)
+            if original is not None:
+                tenant.batches_deduplicated += 1
+                return 200, {**original, "replayed": True}, {}
+        updates = parse_updates(payload.get("updates"))
+        if not updates:
+            raise _HttpError(400, "BAD_REQUEST", "'updates' must be non-empty")
+        for update in updates:
+            update.validate_universe(tenant.spec.n)
+        job = IngestJob(tenant=tenant, updates=updates)
+        seq = self.queue.admit_nowait(job)
+        receipt = {
+            "tenant": tenant.name,
+            "batch_id": batch_id,
+            "updates": len(updates),
+            "seq": seq,
+            "replayed": False,
+        }
+        job.receipt = receipt
+        if batch_id is not None:
+            self.idempotency.record(tenant.name, batch_id, receipt)
+        return 202, receipt, {}
+
+    async def _submit_stream(
+        self, tenant: Tenant, receive: _Receive
+    ) -> "tuple[int, Mapping[str, Any], dict[str, str]]":
+        """NDJSON ingest: one JSON update per line, chunked admission.
+
+        Jobs are enqueued with ``await`` (not nowait): when the queue is
+        full the coroutine — and with it the request body consumption —
+        pauses, which is exactly TCP backpressure on the client.
+        """
+        self._require_accepting()
+        buffer = b""
+        pending: list[Any] = []
+        accepted = 0
+        jobs = 0
+
+        async def flush_chunk() -> None:
+            nonlocal accepted, jobs, pending
+            if not pending:
+                return
+            chunk, pending = pending, []
+            await self.queue.admit(IngestJob(tenant=tenant, updates=chunk))
+            accepted += len(chunk)
+            jobs += 1
+
+        async def take_line(line: bytes) -> None:
+            text = line.strip()
+            if not text:
+                return
+            try:
+                raw = json.loads(text)
+            except json.JSONDecodeError as err:
+                raise _HttpError(
+                    400, "BAD_REQUEST",
+                    f"NDJSON line is not valid JSON: {err}",
+                ) from None
+            update = parse_update(raw)
+            update.validate_universe(tenant.spec.n)
+            pending.append(update)
+            if len(pending) >= self.config.stream_chunk_updates:
+                await flush_chunk()
+
+        while True:
+            message = await receive()
+            if message["type"] == "http.disconnect":
+                raise _HttpError(400, "BAD_REQUEST", "client disconnected")
+            buffer += message.get("body", b"")
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                await take_line(line)
+            if not message.get("more_body", False):
+                break
+        await take_line(buffer)
+        await flush_chunk()
+        return 202, {"tenant": tenant.name, "updates": accepted, "jobs": jobs}, {}
+
+    async def _flush(
+        self, tenant: Tenant, receive: _Receive
+    ) -> "tuple[int, Mapping[str, Any], dict[str, str]]":
+        await self._read_body(receive)
+        await tenant.wait_idle()
+        return 200, {"tenant": tenant.name, "pending": tenant.pending}, {}
+
+    async def _seal(
+        self, tenant: Tenant, receive: _Receive
+    ) -> "tuple[int, Mapping[str, Any], dict[str, str]]":
+        """Seal an epoch *in admission order*: the seal rides the queue
+        behind every batch admitted before it, and the response waits
+        for it to drain."""
+        self._require_accepting()
+        await self._read_body(receive)
+        if not tenant.temporal:
+            raise NotSupportedError(
+                f"tenant {tenant.name!r} is not temporal; declare "
+                "\"epochs\": {} at creation to seal windows"
+            )
+        done: "asyncio.Future[Any]" = asyncio.get_running_loop().create_future()
+        job = IngestJob(tenant=tenant, updates=None, done=done)
+        self.queue.admit_nowait(job)
+        epochs = await done
+        return 200, {"tenant": tenant.name, "epochs_sealed": epochs}, {}
+
+    async def _query(
+        self, tenant: Tenant, receive: _Receive
+    ) -> "tuple[int, Mapping[str, Any], dict[str, str]]":
+        payload = await self._read_json(receive)
+        async with tenant.lock:
+            result = await asyncio.to_thread(tenant.query_sync, payload)
+        return 200, result.to_dict(), {}
+
+    async def _snapshot(
+        self, tenant: Tenant, receive: _Receive
+    ) -> "tuple[int, Mapping[str, Any], dict[str, str]]":
+        async with tenant.lock:
+            blob = await asyncio.to_thread(tenant.engine.snapshot)
+        return 200, {
+            "tenant": tenant.name,
+            "kind": tenant.spec.kind,
+            "codec": "v2",
+            "blob": blob_to_wire(blob),
+        }, {}
+
+
+def create_app(
+    config: "ServeConfig | None" = None,
+    clock: "Callable[[], float]" = time.monotonic,
+) -> ServeApp:
+    """Build the ASGI application (the ``repro serve`` entry point)."""
+    return ServeApp(config, clock)

@@ -1,0 +1,43 @@
+"""Service configuration for :mod:`repro.serve`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one service instance.
+
+    Attributes
+    ----------
+    queue_capacity:
+        Bound on the shared ingest job queue.  Batch submissions that
+        would exceed it are rejected with ``429`` + ``Retry-After``;
+        the NDJSON streaming path blocks the connection instead
+        (connection-level flow control).
+    idempotency_ttl:
+        Seconds a client batch id is remembered for replay detection.
+    retry_after_seconds:
+        The ``Retry-After`` hint sent with ``429`` rejections.
+    stream_chunk_updates:
+        How many NDJSON updates are grouped into one ingest job before
+        being enqueued; bounds per-job latency and memory.
+    """
+
+    queue_capacity: int = 64
+    idempotency_ttl: float = 300.0
+    retry_after_seconds: int = 1
+    stream_chunk_updates: int = 256
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.idempotency_ttl <= 0:
+            raise ValueError("idempotency_ttl must be positive")
+        if self.retry_after_seconds < 0:
+            raise ValueError("retry_after_seconds must be >= 0")
+        if self.stream_chunk_updates < 1:
+            raise ValueError("stream_chunk_updates must be >= 1")

@@ -1,0 +1,75 @@
+"""TTL'd idempotency store for client batch ids.
+
+A client that resubmits a batch after a lost response must not double
+-ingest: linearity makes sketch state add-correct, but the *stream* the
+service claims to have absorbed would silently diverge from the one the
+client sent.  The store remembers ``(tenant, batch_id) -> receipt`` for
+a bounded window; a replay returns the original admission receipt
+instead of enqueueing the batch again.
+
+The clock is injectable so tests drive expiry deterministically; the
+default is ``time.monotonic`` (wall-clock jumps must not expire or
+resurrect entries).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from collections.abc import Callable
+from typing import Any
+
+__all__ = ["IdempotencyStore"]
+
+
+class IdempotencyStore:
+    """Remembers admission receipts keyed by ``(tenant, batch_id)``."""
+
+    def __init__(
+        self,
+        ttl: float,
+        clock: "Callable[[], float]" = time.monotonic,
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self._ttl = ttl
+        self._clock = clock
+        # Insertion-ordered with a fixed TTL, so expiry order is
+        # insertion order: purging pops from the front only.
+        self._entries: "OrderedDict[tuple[str, str], tuple[float, dict[str, Any]]]" = (
+            OrderedDict()
+        )
+
+    def _purge(self) -> None:
+        now = self._clock()
+        while self._entries:
+            _key, (expires, _receipt) = next(iter(self._entries.items()))
+            if expires > now:
+                break
+            self._entries.popitem(last=False)
+
+    def recall(self, tenant: str, batch_id: str) -> "dict[str, Any] | None":
+        """The remembered receipt for a live entry, else ``None``."""
+        self._purge()
+        entry = self._entries.get((tenant, batch_id))
+        return None if entry is None else entry[1]
+
+    def record(
+        self, tenant: str, batch_id: str, receipt: "dict[str, Any]"
+    ) -> None:
+        """Remember ``receipt`` for :attr:`ttl` seconds from now."""
+        self._purge()
+        # Re-recording refreshes the TTL; move to the back to keep
+        # expiry order == insertion order.
+        key = (tenant, batch_id)
+        self._entries[key] = (self._clock() + self._ttl, receipt)
+        self._entries.move_to_end(key)
+
+    def forget_tenant(self, tenant: str) -> None:
+        """Drop every entry of one tenant (tenant deletion)."""
+        for key in [k for k in self._entries if k[0] == tenant]:
+            del self._entries[key]
+
+    def __len__(self) -> int:
+        self._purge()
+        return len(self._entries)

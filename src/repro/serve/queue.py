@@ -1,0 +1,113 @@
+"""Bounded ingest job queue with a single async drainer.
+
+Every mutation of tenant sketch state — batch ingests and epoch seals —
+flows through one FIFO queue drained by one task, so jobs apply in
+admission order and the HTTP handlers never block on sketch work.  The
+queue is bounded: batch submissions use :meth:`IngestQueue.admit_nowait`
+and surface ``429`` when full (client-visible backpressure), while the
+NDJSON streaming path awaits :meth:`IngestQueue.admit` so a slow drain
+propagates as connection-level flow control.
+
+The drainer runs blocking engine calls via ``asyncio.to_thread`` while
+holding the tenant's lock, so concurrent queries (same lock) serialise
+against drains instead of racing them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..streams import EdgeUpdate
+
+__all__ = ["IngestJob", "IngestQueue", "QueueFull"]
+
+
+class QueueFull(Exception):
+    """The bounded ingest queue cannot admit another job (HTTP 429)."""
+
+
+@dataclass
+class IngestJob:
+    """One admitted unit of work: a parsed batch, or a seal marker."""
+
+    tenant: Any
+    #: Parsed updates; ``None`` marks an epoch-seal job.
+    updates: "list[EdgeUpdate] | None"
+    receipt: "dict[str, Any]" = field(default_factory=dict)
+    #: Set for jobs whose submitter awaits completion (seal).
+    done: "asyncio.Future[Any] | None" = None
+
+
+class IngestQueue:
+    """FIFO of :class:`IngestJob` with admission counters."""
+
+    def __init__(self, capacity: int) -> None:
+        self._queue: "asyncio.Queue[IngestJob]" = asyncio.Queue(capacity)
+        self.capacity = capacity
+        self.admitted = 0
+        self.rejected = 0
+        self.drained = 0
+        self._seq = 0
+
+    def depth(self) -> int:
+        return self._queue.qsize()
+
+    def _admitted(self, job: IngestJob) -> int:
+        self._seq += 1
+        self.admitted += 1
+        job.tenant.note_admitted()
+        return self._seq
+
+    def admit_nowait(self, job: IngestJob) -> int:
+        """Admit or raise :class:`QueueFull`; returns the admission seq."""
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            self.rejected += 1
+            raise QueueFull(
+                f"ingest queue is full ({self.capacity} jobs)"
+            ) from None
+        return self._admitted(job)
+
+    async def admit(self, job: IngestJob) -> int:
+        """Admit, waiting for space (streaming flow control)."""
+        await self._queue.put(job)
+        return self._admitted(job)
+
+    async def join(self) -> None:
+        """Block until every admitted job has been drained."""
+        await self._queue.join()
+
+    async def drain_forever(self) -> None:
+        """The drainer loop; run as a task, stopped by cancellation."""
+        while True:
+            job = await self._queue.get()
+            try:
+                await self._drain_one(job)
+            finally:
+                self.drained += 1
+                await job.tenant.note_drained()
+                self._queue.task_done()
+
+    async def _drain_one(self, job: IngestJob) -> None:
+        tenant = job.tenant
+        try:
+            async with tenant.lock:
+                if job.updates is None:
+                    result = await asyncio.to_thread(tenant.seal_sync)
+                else:
+                    result = await asyncio.to_thread(
+                        tenant.apply_sync, job.updates
+                    )
+        except Exception as err:
+            # The submitter was already told 202; surface the failure
+            # through tenant accounting (and the seal future, if any).
+            tenant.drain_errors += 1
+            tenant.last_drain_error = f"{type(err).__name__}: {err}"
+            if job.done is not None and not job.done.done():
+                job.done.set_exception(err)
+        else:
+            if job.done is not None and not job.done.done():
+                job.done.set_result(result)

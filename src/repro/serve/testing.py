@@ -1,0 +1,149 @@
+"""In-process ASGI test client — drive the app without a server.
+
+The client speaks raw ASGI 3 to any app callable: lifespan on enter/
+exit, one ``http`` scope per request.  It exists so the test suite (and
+downstream users without ``httpx``) can exercise the full service —
+routing, backpressure, streaming bodies, shutdown — with zero sockets;
+``httpx.ASGITransport`` works identically for callers who have it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json as json_module
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["AsgiClient", "Response"]
+
+
+@dataclass
+class Response:
+    """One materialised HTTP response."""
+
+    status: int
+    headers: "dict[str, str]"
+    body: bytes
+
+    @property
+    def text(self) -> str:
+        return self.body.decode()
+
+    def json(self) -> Any:
+        return json_module.loads(self.body)
+
+
+class AsgiClient:
+    """``async with AsgiClient(app) as client: await client.get(...)``."""
+
+    def __init__(self, app: Any) -> None:
+        self._app = app
+        self._lifespan_in: "asyncio.Queue[Mapping[str, Any]]" = asyncio.Queue()
+        self._lifespan_out: "asyncio.Queue[Mapping[str, Any]]" = asyncio.Queue()
+        self._lifespan_task: "asyncio.Task[None] | None" = None
+
+    # -- lifespan --------------------------------------------------------------
+
+    async def __aenter__(self) -> "AsgiClient":
+        scope = {"type": "lifespan", "asgi": {"version": "3.0"}}
+        self._lifespan_task = asyncio.get_running_loop().create_task(
+            self._app(scope, self._lifespan_in.get, self._lifespan_out.put)
+        )
+        await self._lifespan_in.put({"type": "lifespan.startup"})
+        message = await self._lifespan_out.get()
+        if message["type"] != "lifespan.startup.complete":  # pragma: no cover
+            raise RuntimeError(f"startup failed: {message}")
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self._lifespan_in.put({"type": "lifespan.shutdown"})
+        message = await self._lifespan_out.get()
+        if message["type"] != "lifespan.shutdown.complete":  # pragma: no cover
+            raise RuntimeError(f"shutdown failed: {message}")
+        if self._lifespan_task is not None:
+            await self._lifespan_task
+
+    # -- requests --------------------------------------------------------------
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        json: Any = None,
+        body: "bytes | None" = None,
+        chunks: "Iterable[bytes] | None" = None,
+        headers: "Mapping[str, str] | None" = None,
+    ) -> Response:
+        """Send one request; exactly one of ``json``/``body``/``chunks``.
+
+        ``chunks`` sends a streamed body (one ``http.request`` message
+        per chunk with ``more_body``), exercising incremental reads.
+        """
+        if sum(x is not None for x in (json, body, chunks)) > 1:
+            raise TypeError("pass at most one of json=, body=, chunks=")
+        if json is not None:
+            body = json_module.dumps(json).encode()
+        messages: list[dict[str, Any]] = []
+        if chunks is not None:
+            chunk_list = list(chunks)
+            for i, chunk in enumerate(chunk_list):
+                messages.append({
+                    "type": "http.request",
+                    "body": chunk,
+                    "more_body": i < len(chunk_list) - 1,
+                })
+            if not messages:
+                messages.append({"type": "http.request", "body": b""})
+        else:
+            messages.append({"type": "http.request", "body": body or b""})
+
+        incoming = iter(messages)
+
+        async def receive() -> Mapping[str, Any]:
+            try:
+                return next(incoming)
+            except StopIteration:  # pragma: no cover - app over-reads
+                return {"type": "http.disconnect"}
+
+        sent: list[Mapping[str, Any]] = []
+
+        async def send(message: Mapping[str, Any]) -> None:
+            sent.append(message)
+
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "path": path,
+            "raw_path": path.encode(),
+            "query_string": b"",
+            "headers": [
+                (k.lower().encode(), v.encode())
+                for k, v in (headers or {}).items()
+            ],
+        }
+        await self._app(scope, receive, send)
+
+        status = 500
+        resp_headers: dict[str, str] = {}
+        chunks_out: list[bytes] = []
+        for message in sent:
+            if message["type"] == "http.response.start":
+                status = message["status"]
+                resp_headers = {
+                    k.decode(): v.decode() for k, v in message["headers"]
+                }
+            elif message["type"] == "http.response.body":
+                chunks_out.append(message.get("body", b""))
+        return Response(status, resp_headers, b"".join(chunks_out))
+
+    async def get(self, path: str, **kwargs: Any) -> Response:
+        return await self.request("GET", path, **kwargs)
+
+    async def post(self, path: str, **kwargs: Any) -> Response:
+        return await self.request("POST", path, **kwargs)
+
+    async def delete(self, path: str, **kwargs: Any) -> Response:
+        return await self.request("DELETE", path, **kwargs)

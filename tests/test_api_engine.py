@@ -532,3 +532,53 @@ class TestDeprecatedShims:
                 engine.timeline.boundaries[0], engine.timeline.boundaries[2]
             ))
         )
+
+    def test_answer_query_warns_and_matches_engine(self, stream):
+        from repro.api.dispatch import answer_query
+
+        spec = SPECS["mincut"]
+        engine = GraphSketchEngine.for_spec(spec).ingest(stream)
+        direct = spec.build().consume_batch(stream.as_batch())
+        with pytest.warns(DeprecationWarning, match="answer_query"):
+            result_cls, fields = answer_query("mincut", direct, MinCutQuery())
+        facade = engine.query(MinCutQuery())
+        assert result_cls is type(facade)
+        assert fields["value"] == facade.value
+        assert fields["stop_level"] == facade.stop_level
+
+
+class TestDictQueries:
+    """query() accepts the wire dict form and answers identically."""
+
+    def test_dict_equals_typed(self, stream):
+        engine = GraphSketchEngine.for_spec(SPECS["mincut"]).ingest(stream)
+        typed = engine.query(MinCutQuery())
+        wired = engine.query({
+            "v": 1, "query": "mincut", "window": None, "args": {},
+        })
+        assert wired.value == typed.value
+        assert wired.stop_level == typed.stop_level
+
+    def test_dict_roundtrip_of_typed_query(self, stream):
+        engine = GraphSketchEngine.for_spec(
+            SPECS["spanning_forest"]
+        ).ingest(stream)
+        query = ConnectivityQuery(u=0, v=N - 1)
+        assert (
+            engine.query(query.to_dict()).same_component
+            == engine.query(query).same_component
+        )
+
+    def test_malformed_dict_raises_wire_error(self, stream):
+        from repro.errors import WireFormatError
+
+        engine = GraphSketchEngine.for_spec(SPECS["mincut"]).ingest(stream)
+        with pytest.raises(WireFormatError):
+            engine.query({"query": "mincut"})  # no version field
+
+    def test_undeclared_capability_via_dict(self, stream):
+        engine = GraphSketchEngine.for_spec(SPECS["mincut"]).ingest(stream)
+        with pytest.raises(NotSupportedError, match="mincut"):
+            engine.query({
+                "v": 1, "query": "sparsifier", "window": None, "args": {},
+            })

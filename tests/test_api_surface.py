@@ -41,12 +41,17 @@ EXPECTED_API = frozenset({
     "SparsifierResult",
     "SubgraphCountQuery",
     "SubgraphCountResult",
+    "WIRE_VERSION",
     "build_sketch",
     "capability_entry",
     "capability_of",
     "kind_of_sketch",
+    "query_from_dict",
+    "query_to_dict",
     "register_capability",
     "registered_kinds",
+    "result_from_dict",
+    "result_to_dict",
 })
 
 EXPECTED_SKETCH_CLASSES = frozenset({
@@ -76,6 +81,7 @@ EXPECTED_EXCEPTIONS = frozenset({
     "SketchFailure",
     "StoreCorruptionError",
     "StreamError",
+    "WireFormatError",
 })
 
 EXPECTED_STREAM_MODEL = frozenset({
@@ -96,7 +102,7 @@ EXPECTED_TOP_LEVEL = (
     | EXPECTED_EXCEPTIONS
     | EXPECTED_STREAM_MODEL
     | EXPECTED_TEMPORAL_STORE
-    | {"__version__"}
+    | {"__version__", "error_code_table"}
 )
 
 EXPECTED_KINDS = (
