@@ -21,6 +21,17 @@ REP-P002
     sanctioned process-spawn seam (``distributed/coordinator.py``,
     ``distributed/factories.py``).  Sketch bytes travel through the
     versioned codec, never through pickle.
+REP-P003
+    An element subscript of a cell-field array (``.phi``/``.iota``/
+    ``.fp1``/``.fp2`` attributes, or the unambiguous bare names
+    ``fp1``/``fp2``) inside a Python ``for``/``while`` loop, anywhere
+    outside ``repro/kernels/``.  Per-cell Python loops are exactly what
+    the kernel subsystem exists to own — vectorised call sites pass
+    whole index arrays, they never walk cells one at a time.  Whole-
+    array slice assignments (``bank.phi[:] = ...``) are fine.  The
+    pre-kernel scalar decoders in ``sketch/sparse_recovery.py`` are
+    tolerated via the baseline ratchet (shrink-only); new per-cell
+    loops are not (see ``docs/KERNELS.md``).
 """
 
 from __future__ import annotations
@@ -47,6 +58,24 @@ _PICKLE_MODULES = frozenset({"pickle", "cPickle", "dill"})
 _STREAMISH_FRAGMENTS = ("stream", "updates", "tokens")
 
 _PER_TOKEN_METHODS = frozenset({"update", "consume"})
+
+#: The four cell-field arrays every bank/arena exposes (REP-P003).
+_CELL_FIELDS = frozenset({"phi", "iota", "fp1", "fp2"})
+
+#: Bare local names that unambiguously mean a cell array.  ``phi`` and
+#: ``iota`` double as paper notation for other vectors (e.g. the
+#: spanner's partition map), so only attribute access identifies them.
+_CELL_NAMES = frozenset({"fp1", "fp2"})
+
+#: The only directory allowed to loop over individual cells.
+_P003_KERNEL_DIR = "kernels/"
+
+
+def _is_cell_array(expr: ast.expr) -> bool:
+    """Is the expression a cell-field array (``x.phi``, or bare ``fp1``)?"""
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in _CELL_FIELDS
+    return isinstance(expr, ast.Name) and expr.id in _CELL_NAMES
 
 
 def _is_streamish(expr: ast.expr) -> bool:
@@ -76,6 +105,8 @@ def check_module(
         _P001_EXEMPT
     )
     pickle_allowed = relpath.startswith(PICKLE_SEAMS)
+    cell_loops_allowed = relpath.startswith(_P003_KERNEL_DIR)
+    p003_lines: set[int] = set()
 
     for node, parents in walk_with_parents(tree):
         if isinstance(node, (ast.Import, ast.ImportFrom)) and not pickle_allowed:
@@ -101,6 +132,22 @@ def check_module(
                     f"{resolved}() called outside the sanctioned "
                     "process-spawn seam; use dump_sketch/load_sketch",
                 )
+        if (
+            not cell_loops_allowed
+            and isinstance(node, ast.Subscript)
+            and _is_cell_array(node.value)
+            and not isinstance(node.slice, ast.Slice)
+            and node.lineno not in p003_lines
+            and any(iter_parents(parents, ast.For, ast.While))
+        ):
+            p003_lines.add(node.lineno)
+            yield Finding(
+                relpath, node.lineno, "REP-P003", FAMILY_PURITY,
+                "per-cell subscript of a cell-field array inside a Python "
+                "loop — per-cell hot loops belong to repro/kernels/ "
+                "(vectorised call sites pass whole index arrays; see "
+                "docs/KERNELS.md)",
+            )
         if (
             in_hot_path
             and isinstance(node, ast.Call)

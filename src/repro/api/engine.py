@@ -228,8 +228,9 @@ class GraphSketchEngine:
         ``mode="process"`` runs sites on one persistent shared-memory
         worker pool, reused across every ingest on this engine;
         ``processes`` sizes it (default: ``min(sites, CPUs)``) and
-        ``start_method`` overrides the ``"spawn"`` default
-        (``"forkserver"`` is the documented Linux fast path).  Release
+        ``start_method`` overrides the platform default
+        (``"forkserver"`` on Linux, else ``"spawn"`` — the documented
+        portable fallback).  Release
         the pool and its shared segments with :meth:`close` or by using
         the engine as a context manager.
         """
@@ -254,6 +255,28 @@ class GraphSketchEngine:
         self._processes = processes
         self._start_method = start_method
         return self
+
+    def kernels(self, backend: str = "auto") -> "GraphSketchEngine":
+        """Select the compiled-kernel backend for the sketch hot loops.
+
+        Thin fluent wrapper over :func:`repro.kernels.use`.  The
+        selection is process-wide (kernels are stateless pure
+        functions) and safe to change at any point: every backend
+        produces byte-identical sketch state, pinned by the parity
+        harness — see ``docs/KERNELS.md``.  ``"auto"`` prefers the
+        fastest available backend; requesting an unavailable one warns
+        and falls back to the numpy reference.
+        """
+        from .. import kernels as _kernels
+
+        _kernels.use(backend)
+        return self
+
+    def kernel_stats(self) -> list[dict]:
+        """Per-kernel call-count/seconds telemetry (process-wide)."""
+        from .. import kernels as _kernels
+
+        return _kernels.kernel_stats()
 
     # -- introspection ----------------------------------------------------------
 

@@ -24,9 +24,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import SamplerFailed, incompatible
+from ..errors import incompatible
 from ..graphs import UnionFind
 from ..hashing import HashSource
+from ..kernels import get as _get_kernel
 from ..sketch import ArenaBacked, L0SamplerBank
 from ..sketch.bank import CellBank
 from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
@@ -34,6 +35,8 @@ from ..util import ceil_log2, pair_rank_array, pair_unrank
 from .incidence import edge_domain
 
 __all__ = ["SpanningForestSketch"]
+
+_K_FOREST_SCATTER = _get_kernel("forest_scatter")
 
 
 class SpanningForestSketch(ArenaBacked):
@@ -83,7 +86,6 @@ class SpanningForestSketch(ArenaBacked):
             rows=rows,
             buckets=buckets,
         )
-        self._round_ids = np.arange(self.rounds, dtype=np.int64)
 
     # -- stream side -----------------------------------------------------------
 
@@ -105,14 +107,20 @@ class SpanningForestSketch(ArenaBacked):
         hi: np.ndarray,
         deltas: np.ndarray,
         items: np.ndarray | None = None,
+        _pre: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> None:
         """Vectorised bulk update of canonical edges ``(lo < hi)``.
 
-        Expands each edge into ``2 * rounds`` sampler rows (two signed
-        endpoints × every family), chunked so peak memory stays bounded
-        for any batch size.  ``items`` may carry the precomputed pair
-        ranks (a :class:`StreamBatch` has them); when omitted they are
-        derived from the endpoints.
+        Runs the fused ``forest_scatter`` kernel — every family, both
+        signed endpoints, and the level expansion in one scatter —
+        chunked so peak memory stays bounded for any batch size.
+        ``items`` may carry the precomputed pair ranks (a
+        :class:`StreamBatch` has them); when omitted they are derived
+        from the endpoints.  ``_pre`` optionally carries the items'
+        ``(unique, inverse)`` dedup so sibling sketches fed the same
+        payload (the ``k`` groups of a ``k-EDGECONNECT``) share the
+        sort; it must match ``items`` exactly and is ignored when the
+        batch needs chunking.
         """
         lo = np.asarray(lo, dtype=np.int64)
         hi = np.asarray(hi, dtype=np.int64)
@@ -126,28 +134,12 @@ class SpanningForestSketch(ArenaBacked):
         if lo.size > self._CHUNK:
             for start in range(0, lo.size, self._CHUNK):
                 end = start + self._CHUNK
-                self._update_edges_block(
-                    lo[start:end], hi[start:end], deltas[start:end],
-                    items[start:end],
+                _K_FOREST_SCATTER(
+                    self.bank, lo[start:end], hi[start:end],
+                    deltas[start:end], items[start:end],
                 )
             return
-        self._update_edges_block(lo, hi, deltas, items)
-
-    def _update_edges_block(
-        self,
-        lo: np.ndarray,
-        hi: np.ndarray,
-        deltas: np.ndarray,
-        items: np.ndarray,
-    ) -> None:
-        m = lo.size
-        t = self.rounds
-        fams = np.tile(np.repeat(self._round_ids, 2), m)
-        # Order per edge: (round0:lo, round0:hi, round1:lo, round1:hi, ...).
-        samplers = np.stack([lo, hi], axis=1)[:, None, :].repeat(t, axis=1).reshape(-1)
-        rep_items = np.repeat(items, 2 * t)
-        rep_deltas = np.tile(np.stack([deltas, -deltas], axis=1), (1, t)).reshape(-1)
-        self.bank.update(fams, samplers, rep_items, rep_deltas)
+        _K_FOREST_SCATTER(self.bank, lo, hi, deltas, items, pre=_pre)
 
     def consume(self, stream: DynamicGraphStream) -> "SpanningForestSketch":
         """Feed an entire stream (single pass); returns self for chaining."""
@@ -214,21 +206,25 @@ class SpanningForestSketch(ArenaBacked):
                 break
             merged_any = False
             decode_failed = False
-            for members in components.values():
-                try:
-                    item, value = self.bank.sample_sum(t, members)
-                except SamplerFailed as err:
-                    # A zero vector means the component has no outgoing
-                    # edge (isolated w.h.p.); a decode failure says
-                    # nothing — a later round's fresh samplers may
-                    # still recover an edge, so it must not end the
+            # One whole-bank kernel call decodes every component's
+            # summed sampler for this round at once; the per-component
+            # union bookkeeping stays in Python but touches no cells.
+            groups = list(components.values())
+            status, items, values = self.bank.sample_many(t, groups)
+            for ci in range(len(groups)):
+                st = int(status[ci])
+                if st != 0:
+                    # A zero vector (1) means the component has no
+                    # outgoing edge (isolated w.h.p.); a decode failure
+                    # (2) says nothing — a later round's fresh samplers
+                    # may still recover an edge, so it must not end the
                     # extraction early.
-                    if not getattr(err, "vector_is_zero", False):
+                    if st == 2:
                         decode_failed = True
                     continue
-                a, b = pair_unrank(item, self.n)
+                a, b = pair_unrank(int(items[ci]), self.n)
                 if uf.union(a, b):
-                    forest.append((a, b, abs(value)))
+                    forest.append((a, b, abs(int(values[ci]))))
                     merged_any = True
             if not merged_any and not decode_failed and t > 0:
                 # Every remaining component reported a zero outgoing

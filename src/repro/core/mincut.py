@@ -30,6 +30,7 @@ import numpy as np
 from ..errors import incompatible
 from ..graphs import Graph, global_min_cut_value
 from ..hashing import HashSource
+from ..kernels import get as _get_kernel
 from ..sketch import ArenaBacked
 from ..sketch.bank import CellBank
 from ..streams import DynamicGraphStream, EdgeUpdate, StreamBatch
@@ -37,6 +38,8 @@ from ..util import ceil_log2
 from .edge_connect import EdgeConnectivitySketch
 
 __all__ = ["MinCutSketch", "MinCutResult", "default_k"]
+
+_K_LEVEL_ROUTE = _get_kernel("level_route")
 
 
 def default_k(n: int, epsilon: float, c_k: float) -> int:
@@ -161,19 +164,29 @@ class MinCutSketch(ArenaBacked):
         return self.consume_batch(stream.as_batch())
 
     def consume_batch(self, batch: StreamBatch) -> "MinCutSketch":
-        """Ingest one columnar batch, subsampled into every level."""
+        """Ingest one columnar batch, subsampled into every level.
+
+        The ``level_route`` kernel sorts the batch once by deepest
+        surviving level, so every level's payload is a nested prefix of
+        the sorted batch instead of a fresh boolean-mask copy; scatter
+        results are order-independent, so the bytes are unchanged.
+        """
         if batch.n != self.n:
             raise ValueError("batch and sketch node universes differ")
         top = np.asarray(
             self._level_source.levels(batch.ranks, self.levels), dtype=np.int64
         )
+        order, survivors = _K_LEVEL_ROUTE(top, self.levels)
+        lo = batch.lo[order]
+        hi = batch.hi[order]
+        delta = batch.delta[order]
+        ranks = batch.ranks[order]
         for i, instance in enumerate(self.instances):
-            mask = top >= i
-            if not mask.any():
-                continue
+            keep = int(survivors[i])
+            if keep == 0:
+                break
             instance.update_edges(
-                batch.lo[mask], batch.hi[mask], batch.delta[mask],
-                items=batch.ranks[mask],
+                lo[:keep], hi[:keep], delta[:keep], items=ranks[:keep],
             )
         return self
 

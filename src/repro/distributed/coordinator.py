@@ -25,10 +25,12 @@ Execution modes:
 
 The pool is created lazily on the first process-mode run and reused by
 every subsequent ``run()``/``run_epochs()`` on the same runner; the
-start method is an explicit ``"spawn"`` (identical semantics on every
-platform, immune to fork-vs-threaded-BLAS corruption).  Pass
-``start_method="forkserver"`` on Linux for cheaper worker startup once
-the fork server has warmed.  Call :meth:`ShardedSketchRunner.close` —
+default start method is ``"forkserver"`` where the platform offers it
+(Linux — cheap worker startup once the fork server has warmed, and the
+server process is single-threaded so the fork is safe) and ``"spawn"``
+everywhere else (identical semantics on every platform, immune to
+fork-vs-threaded-BLAS corruption).  Pass ``start_method="spawn"`` to
+force the portable behaviour on Linux too.  Call :meth:`ShardedSketchRunner.close` —
 or use the runner as a context manager — to terminate the pool and
 unlink every shared segment; a ``KeyboardInterrupt`` mid-run tears both
 down automatically, and garbage collection is a safety net for the
@@ -69,6 +71,7 @@ __all__ = [
     "ShardedRunReport",
     "ShardedEpochReport",
     "ShardedSketchRunner",
+    "default_start_method",
     "sharded_consume",
 ]
 
@@ -81,6 +84,20 @@ def _available_cpus() -> int:
     if hasattr(os, "sched_getaffinity"):
         return len(os.sched_getaffinity(0))
     return os.cpu_count() or 1
+
+
+def default_start_method() -> str:
+    """The pool start method used when none is requested.
+
+    ``"forkserver"`` where the platform offers it (Linux): workers fork
+    from a warmed single-threaded server, so startup is cheap and the
+    fork cannot snapshot a threaded (BLAS) parent.  ``"spawn"``
+    elsewhere — the portable fallback with identical semantics on every
+    platform.
+    """
+    if "forkserver" in multiprocessing.get_all_start_methods():
+        return "forkserver"
+    return "spawn"
 
 
 @dataclass(frozen=True, slots=True)
@@ -303,10 +320,11 @@ class ShardedSketchRunner:
         Default: ``min(sites, available CPUs)`` — K sites on a smaller
         machine share workers instead of oversubscribing it.
     start_method:
-        Multiprocessing start method for the pool.  Default
-        ``"spawn"`` (portable, fork-safe); ``"forkserver"`` is the
-        documented fast path on Linux when many short runs share one
-        runner.
+        Multiprocessing start method for the pool.  Default:
+        ``"forkserver"`` where available (Linux), else ``"spawn"`` —
+        the documented portable fallback, selectable explicitly when
+        identical start semantics across platforms matter more than
+        worker startup cost.
 
     A runner with ``mode="process"`` holds two kinds of resources once
     it has run: the persistent worker pool and its shared-memory
@@ -405,7 +423,9 @@ class ShardedSketchRunner:
         """The persistent pool, created lazily on first process run."""
         self._require_open()
         if self._pool is None:
-            ctx = multiprocessing.get_context(self.start_method or "spawn")
+            ctx = multiprocessing.get_context(
+                self.start_method or default_start_method()
+            )
             self._pool = ctx.Pool(
                 self._worker_count(),
                 initializer=_shm_worker_init,

@@ -98,9 +98,12 @@ class HashSource:
         h = self.hash64(x)
         if isinstance(h, (int, np.integer)):
             return ((int(h) >> 17) % buckets)
-        return (
-            (np.asarray(h, dtype=np.uint64) >> np.uint64(17)) % np.uint64(buckets)
-        ).astype(np.int64)
+        shifted = np.asarray(h, dtype=np.uint64) >> np.uint64(17)
+        if buckets & (buckets - 1) == 0:
+            # Power-of-two bucket counts (the default) take a mask —
+            # identical residues, a fraction of the integer-divide cost.
+            return (shifted & np.uint64(buckets - 1)).astype(np.int64)
+        return (shifted % np.uint64(buckets)).astype(np.int64)
 
     def bernoulli(self, x: np.ndarray | int, p: float) -> np.ndarray | bool:
         """Consistent Bernoulli(p) coin for each key."""

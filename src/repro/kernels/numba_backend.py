@@ -1,0 +1,114 @@
+"""Optional ``numba``-compiled backend for the arena vector kernels.
+
+Imported by :mod:`repro.kernels` inside a ``try``; when numba (or a
+working JIT toolchain) is missing the import fails, the backend stays
+unregistered, and selection falls back to the numpy reference — the
+import block at the bottom compiles and runs a tiny warm-up so a broken
+toolchain is detected *at import time*, not on the first hot call.
+
+Only the arena fold/negate kernels are overridden here: they are
+simple, branch-free int64 loops where a compiled single pass beats the
+blocked multi-pass numpy fold, and their byte-exactness is easy to
+audit (one Mersenne fold is valid below ``2^32`` and the canonical
+``p -> 0`` fix-up matches ``mod_mersenne31``).  All remaining kernels
+inherit the reference implementation through the registry; the parity
+contract (``docs/KERNELS.md``) is per kernel, not per backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+from ..hashing import MERSENNE31
+
+__all__ = ["KERNELS"]
+
+_M = MERSENNE31
+
+
+@njit(cache=True)
+def _fold_raw(buffer, other, c2, subtract):
+    n = buffer.size
+    if subtract:
+        for i in range(c2):
+            buffer[i] -= other[i]
+        for i in range(c2, n):
+            f = buffer[i] - other[i] + _M
+            f = (f & _M) + (f >> 31)
+            if f == _M:
+                f = 0
+            buffer[i] = f
+    else:
+        for i in range(c2):
+            buffer[i] += other[i]
+        for i in range(c2, n):
+            f = buffer[i] + other[i]
+            f = (f & _M) + (f >> 31)
+            if f == _M:
+                f = 0
+            buffer[i] = f
+
+
+@njit(cache=True)
+def _fold_sparse(buffer, idx, values, split, subtract):
+    if subtract:
+        for j in range(split):
+            buffer[idx[j]] -= values[j]
+        for j in range(split, idx.size):
+            f = buffer[idx[j]] - values[j] + _M
+            f = (f & _M) + (f >> 31)
+            if f == _M:
+                f = 0
+            buffer[idx[j]] = f
+    else:
+        for j in range(split):
+            buffer[idx[j]] += values[j]
+        for j in range(split, idx.size):
+            f = buffer[idx[j]] + values[j]
+            f = (f & _M) + (f >> 31)
+            if f == _M:
+                f = 0
+            buffer[idx[j]] = f
+
+
+@njit(cache=True)
+def _negate(buffer, c2):
+    for i in range(c2):
+        buffer[i] = -buffer[i]
+    for i in range(c2, buffer.size):
+        f = _M - buffer[i]
+        if f == _M:
+            f = 0
+        buffer[i] = f
+
+
+def arena_fold(buffer, other, cells, subtract):
+    _fold_raw(buffer, other, 2 * cells, bool(subtract))
+
+
+def arena_fold_sparse(buffer, cells, idx, values, subtract):
+    split = int(np.searchsorted(idx, 2 * cells))
+    _fold_sparse(buffer, idx, values, split, bool(subtract))
+
+
+def arena_negate(buffer, cells):
+    _negate(buffer, 2 * cells)
+
+
+KERNELS: dict = {
+    "arena_fold": arena_fold,
+    "arena_fold_sparse": arena_fold_sparse,
+    "arena_negate": arena_negate,
+}
+
+# Import-time warm-up: compile and sanity-check each jitted loop on a
+# tiny buffer so a present-but-broken toolchain disables the backend
+# instead of failing mid-ingest.
+_probe = np.arange(8, dtype=np.int64)
+_other = np.ones(8, dtype=np.int64)
+_fold_raw(_probe.copy(), _other, 4, False)
+_fold_sparse(_probe.copy(), np.array([1, 5], dtype=np.int64),
+             np.array([1, 1], dtype=np.int64), 1, True)
+_negate(_probe.copy(), 4)
+del _probe, _other

@@ -1,0 +1,506 @@
+"""Pure-numpy reference backend — the parity anchor for every kernel.
+
+These implementations define the byte-exact contract of the kernel
+registry: any alternative backend must reproduce their outputs bit for
+bit (see ``docs/KERNELS.md``).  They are also heavily optimised in
+their own right — the reference backend is what the benchmark gates in
+``BENCH_ingest.json`` are measured against:
+
+* fingerprint powers ``z^item`` are computed once per **unique** item
+  and gathered, instead of once per expanded scatter entry (a forest
+  scatter expands every edge ~``4 log n``-fold, so this removes the
+  dominant modular-exponentiation cost of ingest);
+* scatters use ``np.add.at`` — buffered no longer since numpy 2.0's
+  indexed-loop fast path, it folds int64 contributions at memory
+  speed with no sort;
+* the Mersenne reduction of the fingerprint fields is deferred to one
+  pass per kernel call, over the whole bank for large payloads or the
+  sorted unique touched cells for small ones.  Both are exact:
+  untouched cells already hold canonical residues and the reduction
+  is idempotent;
+* the forest scatter's ragged level expansion is replaced, for large
+  payloads, by one radix sort of the (edge, family) pairs by deepest
+  level — each level's participants become a *prefix* of the sorted
+  pair arrays, so the per-level value columns are views and only the
+  bucket hash is computed per expanded entry.
+
+Exactness arguments used throughout (and relied on by callers):
+
+* int64 addition is associative and commutative, so any regrouping or
+  reordering of scatter contributions yields identical cell values;
+* ``mod_mersenne31`` is canonical (``p`` maps to ``0``) and idempotent,
+  so reducing a cell once at the end of a batch equals reducing it
+  after every contribution;
+* intermediate fingerprint sums stay below ``2^62`` (each contribution
+  is ``< 2^31`` and a scatter block is capped well below ``2^31``
+  entries), the validity range of the two-fold reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hashing import MERSENNE31
+from ..hashing.field import mod_mersenne31, powmod_array
+
+__all__ = ["KERNELS"]
+
+#: Name -> implementation for this backend (complete by definition).
+KERNELS: dict = {}
+
+
+def _kernel(fn):
+    KERNELS[fn.__name__] = fn
+    return fn
+
+
+def _unique_inverse(items: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``np.unique(..., return_inverse=True)`` pinned to 1-D semantics."""
+    uniq, inv = np.unique(items.ravel(), return_inverse=True)
+    return uniq, inv.reshape(items.shape)
+
+
+def _reduce_fp(fp1: np.ndarray, fp2: np.ndarray, cell_arrays: list) -> None:
+    """Canonically reduce fingerprint cells after raw accumulation.
+
+    Every cell named in ``cell_arrays`` holds a sum of canonical
+    residues; each contribution is ``< 2^31`` and a scatter call feeds
+    well under ``2^31`` entries, so the sums stay below ``2^62`` — the
+    validity range of the two-fold reduction.  Large payloads reduce
+    the whole bank instead of sorting the touched set: reducing an
+    untouched (canonical) cell is the identity, so both paths yield
+    identical bytes.
+    """
+    total = sum(c.size for c in cell_arrays)
+    if total * 8 >= fp1.size:
+        fp1[:] = mod_mersenne31(fp1)
+        fp2[:] = mod_mersenne31(fp2)
+        return
+    touched = np.unique(
+        cell_arrays[0] if len(cell_arrays) == 1 else np.concatenate(cell_arrays)
+    )
+    fp1[touched] = mod_mersenne31(fp1[touched])
+    fp2[touched] = mod_mersenne31(fp2[touched])
+
+
+def _scatter_add(
+    phi: np.ndarray,
+    iota: np.ndarray,
+    fp1: np.ndarray,
+    fp2: np.ndarray,
+    cells: np.ndarray,
+    vd: np.ndarray,
+    vw: np.ndarray,
+    v1: np.ndarray,
+    v2: np.ndarray,
+) -> None:
+    """Fold per-entry contributions into the four field arrays.
+
+    Unsorted ``np.add.at`` scatters per field (int64 addition commutes,
+    so entry order is immaterial to the bytes), then one deferred
+    fingerprint reduction over the touched cells.
+    """
+    np.add.at(phi, cells, vd)
+    np.add.at(iota, cells, vw)
+    np.add.at(fp1, cells, v1)
+    np.add.at(fp2, cells, v2)
+    _reduce_fp(fp1, fp2, [cells])
+
+
+@_kernel
+def scatter_multi(bank, cells_per_row, items, deltas, pre=None):
+    """Accumulate ``x[items] += deltas`` into a cell bank via row routings.
+
+    ``bank`` is a :class:`~repro.sketch.bank.CellBank`; every array in
+    ``cells_per_row`` routes the same ``(items, deltas)`` payload into
+    one hash-table row.  ``pre`` optionally carries a precomputed
+    ``(unique_items, inverse)`` pair so callers scattering one payload
+    into many identically-shaped banks share the dedup sort.
+    """
+    items = np.asarray(items, dtype=np.int64)
+    deltas = np.asarray(deltas, dtype=np.int64)
+    if items.size == 0:
+        return
+    uniq, inv = _unique_inverse(items) if pre is None else pre
+    dmod = np.mod(deltas, MERSENNE31)
+    c1 = mod_mersenne31(dmod * powmod_array(bank.z1, uniq)[inv])
+    c2 = mod_mersenne31(dmod * powmod_array(bank.z2, uniq)[inv])
+    weighted = items * deltas
+    rows = [np.asarray(c, dtype=np.int64) for c in cells_per_row]
+    r = len(rows)
+    if r == 1:
+        all_cells, vd, vw, v1, v2 = rows[0], deltas, weighted, c1, c2
+    else:
+        all_cells = np.concatenate(rows)
+        vd = np.tile(deltas, r)
+        vw = np.tile(weighted, r)
+        v1 = np.tile(c1, r)
+        v2 = np.tile(c2, r)
+    _scatter_add(bank.phi, bank.iota, bank.fp1, bank.fp2, all_cells, vd, vw, v1, v2)
+
+
+#: Expanded-entry budget below which ``forest_scatter`` uses the
+#: ragged per-entry expansion; larger payloads switch to the per-level
+#: prefix loop whose fixed cost (a few numpy calls per level and row)
+#: only amortises on big batches.
+_RAGGED_MAX = 8192
+
+
+@_kernel
+def forest_scatter(bank, lo, hi, deltas, items, pre=None):
+    """Fused signed-incidence scatter for a spanning-forest sampler bank.
+
+    ``bank`` is the forest's :class:`~repro.sketch.l0.L0SamplerBank`
+    (one family per Borůvka round, one sampler per node).  Each
+    canonical edge ``(lo, hi, delta)`` with pair rank ``item``
+    contributes ``+delta`` to ``lo``'s sampler and ``-delta`` to
+    ``hi``'s in **every** family, expanded over the item's
+    participating subsampling levels ``0..top(item, family)`` and
+    hashed into one bucket per row — the exact entry multiset of
+    ``L0SamplerBank.update`` fed with the per-edge repeat expansion,
+    produced without materialising per-entry hash or power
+    recomputation:
+
+    * fingerprint powers: once per unique item (both signs derived by
+      one extra modular multiply each);
+    * level hashes: once per (unique item, family) instead of per
+      expanded entry;
+    * bucket hashes: once per (edge, family, level) entry, shared by
+      the two signed endpoint rows.
+
+    Small payloads expand the ragged level axis directly; large ones
+    take :func:`_forest_scatter_levels`, which turns the expansion
+    into nested prefixes of one radix sort.  Entry order differs
+    between the two, but every contribution is an exact int64 (or
+    deferred-canonical) sum, so the resulting bytes are identical.
+    """
+    items = np.asarray(items, dtype=np.int64)
+    if items.size == 0:
+        return
+    lo = np.asarray(lo, dtype=np.int64)
+    hi = np.asarray(hi, dtype=np.int64)
+    deltas = np.asarray(deltas, dtype=np.int64)
+    fam_count = bank.families
+    samplers = bank.samplers
+    lvl1 = bank.levels + 1
+    rows = bank.rows
+    buckets = bank.buckets
+    uniq, inv = _unique_inverse(items) if pre is None else pre
+    # Fingerprint contributions per edge, for both endpoint signs.
+    dmod = np.mod(deltas, MERSENNE31)
+    ndmod = np.mod(-deltas, MERSENNE31)
+    g1 = powmod_array(bank.bank.z1, uniq)[inv]
+    g2 = powmod_array(bank.bank.z2, uniq)[inv]
+    c1p = mod_mersenne31(dmod * g1)
+    c1n = mod_mersenne31(ndmod * g1)
+    c2p = mod_mersenne31(dmod * g2)
+    c2n = mod_mersenne31(ndmod * g2)
+    weighted = items * deltas
+    # Deepest participating level per (unique item, family), gathered
+    # back to the edge axis.
+    fam = np.arange(fam_count, dtype=np.int64)
+    top = np.asarray(
+        bank._level_source.levels(uniq[:, None] * fam_count + fam[None, :], bank.levels),
+        dtype=np.int64,
+    )[inv]
+    lengths = (top + 1).ravel()
+    total = int(lengths.sum())
+    if total * rows * 2 > _RAGGED_MAX:
+        _forest_scatter_levels(
+            bank, lo, hi, deltas, items, weighted, c1p, c1n, c2p, c2n, top, total
+        )
+        return
+    # Ragged expansion over levels 0..top, edge-major with families inner.
+    ef = np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)
+    e_idx = ef // fam_count
+    f_idx = ef - e_idx * fam_count
+    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    lv = np.arange(total, dtype=np.int64) - np.repeat(starts, lengths)
+    item_e = items[e_idx]
+    # Cell addressing: one shared bucket per row for the two signed
+    # endpoint samplers of each (edge, family, level) entry.
+    base_lo = ((f_idx * samplers + lo[e_idx]) * lvl1 + lv) * rows
+    base_hi = ((f_idx * samplers + hi[e_idx]) * lvl1 + lv) * rows
+    bkey = ((item_e * fam_count + f_idx) * lvl1 + lv) * rows
+    cell_rows = []
+    for r in range(rows):
+        bucket = np.asarray(
+            bank._bucket_source.bucket(bkey + r, buckets), dtype=np.int64
+        )
+        cell_rows.append((base_lo + r) * buckets + bucket)
+        cell_rows.append((base_hi + r) * buckets + bucket)
+    all_cells = np.concatenate(cell_rows)
+    d_e = deltas[e_idx]
+    w_e = weighted[e_idx]
+    vd = np.concatenate([d_e, -d_e] * rows)
+    vw = np.concatenate([w_e, -w_e] * rows)
+    v1 = np.concatenate([c1p[e_idx], c1n[e_idx]] * rows)
+    v2 = np.concatenate([c2p[e_idx], c2n[e_idx]] * rows)
+    bb = bank.bank
+    _scatter_add(bb.phi, bb.iota, bb.fp1, bb.fp2, all_cells, vd, vw, v1, v2)
+
+
+def _forest_scatter_levels(
+    bank, lo, hi, deltas, items, weighted, c1p, c1n, c2p, c2n, top, total
+):
+    """Large-payload forest scatter: levels as prefixes of one sort.
+
+    The (edge, family) pairs are radix-sorted once by deepest
+    participating level, descending.  The pairs reaching level ``lv``
+    are then exactly the first ``srv[lv]`` positions, so every
+    per-level value column is a zero-copy prefix view and the only
+    per-expanded-entry work left is the bucket hash, the cell index
+    arithmetic, and the ``np.add.at`` folds.
+    """
+    fam_count = bank.families
+    samplers = bank.samplers
+    lvl1 = bank.levels + 1
+    rows = bank.rows
+    buckets = bank.buckets
+    m = items.size
+    shape = (m, fam_count)
+    # 16-bit keys take numpy's radix-sort path; int64 would comparison-sort.
+    key = (bank.levels - top).ravel().astype(np.int16)
+    order = np.argsort(key, kind="stable")
+    counts = np.bincount(top.ravel(), minlength=lvl1)
+    srv = np.cumsum(counts[::-1])[::-1]
+    fam = np.arange(fam_count, dtype=np.int64)
+    cb = rows * buckets
+    sampler_base = fam[None, :] * samplers
+    a_lo = ((sampler_base + lo[:, None]) * (lvl1 * cb)).ravel()[order]
+    a_hi = ((sampler_base + hi[:, None]) * (lvl1 * cb)).ravel()[order]
+    bkey = ((items[:, None] * fam_count + fam[None, :]) * (lvl1 * rows)).ravel()[order]
+    sd = np.broadcast_to(deltas[:, None], shape).ravel()[order]
+    sw = np.broadcast_to(weighted[:, None], shape).ravel()[order]
+    s1p = np.broadcast_to(c1p[:, None], shape).ravel()[order]
+    s1n = np.broadcast_to(c1n[:, None], shape).ravel()[order]
+    s2p = np.broadcast_to(c2p[:, None], shape).ravel()[order]
+    s2n = np.broadcast_to(c2n[:, None], shape).ravel()[order]
+    snd = -sd
+    snw = -sw
+    bb = bank.bank
+    phi, iota, fp1, fp2 = bb.phi, bb.iota, bb.fp1, bb.fp2
+    bsrc = bank._bucket_source
+    dense = total * rows * 2 * 8 >= fp1.size
+    touched: list = []
+    for lv in range(lvl1):
+        n = int(srv[lv])
+        if n == 0:
+            break
+        for r in range(rows):
+            bucket = np.asarray(
+                bsrc.bucket(bkey[:n] + (lv * rows + r), buckets), dtype=np.int64
+            )
+            cl = a_lo[:n] + (lv * cb + r * buckets)
+            cl += bucket
+            ch = a_hi[:n] + (lv * cb + r * buckets)
+            ch += bucket
+            np.add.at(phi, cl, sd[:n])
+            np.add.at(phi, ch, snd[:n])
+            np.add.at(iota, cl, sw[:n])
+            np.add.at(iota, ch, snw[:n])
+            np.add.at(fp1, cl, s1p[:n])
+            np.add.at(fp1, ch, s1n[:n])
+            np.add.at(fp2, cl, s2p[:n])
+            np.add.at(fp2, ch, s2n[:n])
+            if not dense:
+                touched.append(cl)
+                touched.append(ch)
+    if dense:
+        fp1[:] = mod_mersenne31(fp1)
+        fp2[:] = mod_mersenne31(fp2)
+    else:
+        _reduce_fp(fp1, fp2, touched)
+
+
+#: Sampler-block gather budget per decode slab — bounds the peak
+#: ``members × cells_per_sampler`` gather matrix regardless of how many
+#: components one Borůvka round decodes.
+_DECODE_SLAB = 1 << 16
+
+
+@_kernel
+def decode_all(bank, family, member_starts, seg_offsets):
+    """Batched one-sparse decode over per-component summed samplers.
+
+    ``bank`` is an :class:`~repro.sketch.l0.L0SamplerBank`;
+    ``member_starts`` holds the first cell of each member sampler's
+    block (components concatenated), ``seg_offsets`` the ``C + 1``
+    component boundaries.  For each component the member blocks are
+    summed (the AGM supernode trick) and decoded with the same
+    deepest-level / hash-tie-break / last-cell selection rule as
+    ``L0SamplerBank._sample_from``.
+
+    Returns ``(status, items, values)`` with status ``0`` = decoded,
+    ``1`` = zero vector (w.h.p. no support), ``2`` = recovery failure.
+    """
+    cps = bank._cells_per_sampler
+    count = seg_offsets.size - 1
+    status = np.full(count, 2, dtype=np.int64)
+    items_out = np.zeros(count, dtype=np.int64)
+    values_out = np.zeros(count, dtype=np.int64)
+    # Slab the component axis so the gather matrix stays bounded.
+    per_slab = max(1, _DECODE_SLAB // max(cps, 1))
+    first = 0
+    while first < count:
+        last = first
+        members = 0
+        while last < count:
+            seg = int(seg_offsets[last + 1] - seg_offsets[last])
+            if last > first and members + seg > per_slab:
+                break
+            members += seg
+            last += 1
+        _decode_slab(
+            bank, family,
+            member_starts[seg_offsets[first]:seg_offsets[last]],
+            seg_offsets[first:last + 1] - seg_offsets[first],
+            status[first:last], items_out[first:last], values_out[first:last],
+        )
+        first = last
+    return status, items_out, values_out
+
+
+def _decode_slab(bank, family, member_starts, seg_offsets, status, items_out,
+                 values_out):
+    """Decode one bounded slab of components in place."""
+    bb = bank.bank
+    cps = bank._cells_per_sampler
+    idx = member_starts[:, None] + np.arange(cps, dtype=np.int64)[None, :]
+    starts = seg_offsets[:-1]
+    phi = np.add.reduceat(bb.phi[idx], starts, axis=0)
+    iota = np.add.reduceat(bb.iota[idx], starts, axis=0)
+    fp1 = mod_mersenne31(np.add.reduceat(bb.fp1[idx], starts, axis=0))
+    fp2 = mod_mersenne31(np.add.reduceat(bb.fp2[idx], starts, axis=0))
+    # Vectorised 1-sparse test with fingerprint verification (powers
+    # shared across the few distinct candidate indices).
+    ok = phi != 0
+    safe = np.where(ok, phi, 1)
+    ok &= np.mod(iota, safe) == 0
+    index = np.where(ok, iota // safe, 0)
+    ok &= (index >= 0) & (index < bank.domain)
+    idxc = np.clip(index, 0, bank.domain - 1)
+    uniq, inv = _unique_inverse(idxc)
+    phimod = np.mod(phi, MERSENNE31)
+    ok &= fp1 == mod_mersenne31(phimod * powmod_array(bb.z1, uniq)[inv])
+    ok &= fp2 == mod_mersenne31(phimod * powmod_array(bb.z2, uniq)[inv])
+    zero = ~((phi != 0) | (iota != 0) | (fp1 != 0) | (fp2 != 0)).any(axis=1)
+    status[zero] = 1
+    comp_ids, _cells = np.nonzero(ok)
+    if comp_ids.size == 0:
+        return
+    cand_idx = index[ok]
+    cand_val = phi[ok]
+    keys = cand_idx * bank.families + family
+    cand_lv = np.asarray(bank._level_source.levels(keys, bank.levels), dtype=np.int64)
+    tiebreak = np.asarray(bank._level_source.hash64(keys), dtype=np.uint64)
+    # Per component: deepest level wins, ties by hash, then by last
+    # cell position — exactly ``lexsort((tiebreak, level))[-1]`` of the
+    # scalar path, batched via a component-major stable lexsort.
+    order = np.lexsort((tiebreak, cand_lv, comp_ids))
+    sorted_comps = comp_ids[order]
+    present = np.unique(comp_ids)
+    win = order[np.searchsorted(sorted_comps, present, side="right") - 1]
+    status[present] = 0
+    items_out[present] = cand_idx[win]
+    values_out[present] = cand_val[win]
+
+
+#: Elements per arena fold block — 128k int64 = 1 MiB, sized so one
+#: block plus its single temporary stays cache-resident while the
+#: fold's multiple passes run.
+_FOLD_BLOCK = 1 << 17
+
+
+def _fold_mersenne31_inplace(f: np.ndarray) -> None:
+    """Reduce ``f`` (values in ``[0, 2^32)``) mod ``2^31 - 1`` in place.
+
+    One Mersenne fold suffices below ``2^32`` — the range of a sum or
+    difference-plus-modulus of two reduced fingerprints — followed by
+    the canonical ``p -> 0`` fix-up.  Produces exactly
+    :func:`~repro.hashing.field.mod_mersenne31`'s residues with fewer
+    passes and a single block-sized temporary.
+    """
+    tmp = f >> 31
+    f &= MERSENNE31
+    f += tmp
+    f[f == MERSENNE31] = 0
+
+
+@_kernel
+def arena_fold(buffer, other, cells, subtract):
+    """Fold a same-layout raw buffer into an arena buffer in place.
+
+    One in-place add/sub over the count half (``phi``/``iota``); a
+    blocked in-place modular add/sub over the fingerprint half.
+    """
+    c2 = 2 * cells
+    counts = buffer[:c2]
+    fps = buffer[c2:]
+    other_fps = other[c2:]
+    if subtract:
+        counts -= other[:c2]
+    else:
+        counts += other[:c2]
+    for start in range(0, fps.size, _FOLD_BLOCK):
+        f = fps[start:start + _FOLD_BLOCK]
+        if subtract:
+            f -= other_fps[start:start + _FOLD_BLOCK]
+            f += MERSENNE31
+        else:
+            f += other_fps[start:start + _FOLD_BLOCK]
+        _fold_mersenne31_inplace(f)
+
+
+@_kernel
+def arena_fold_sparse(buffer, cells, idx, values, subtract):
+    """Fold a sparse ``(index, value)`` payload into an arena buffer.
+
+    ``idx`` must be strictly increasing positions into the buffer (so
+    indices are unique and fancy assignment is well-defined) and
+    fingerprint values already reduced — both validated by the
+    serialisation layer.  Cost is ``O(nnz)``, not ``O(cells)``.
+    """
+    c2 = 2 * cells
+    split = int(np.searchsorted(idx, c2))
+    if subtract:
+        buffer[idx[:split]] -= values[:split]
+        folded = buffer[idx[split:]] - values[split:] + MERSENNE31
+    else:
+        buffer[idx[:split]] += values[:split]
+        folded = buffer[idx[split:]] + values[split:]
+    _fold_mersenne31_inplace(folded)
+    buffer[idx[split:]] = folded
+
+
+@_kernel
+def arena_negate(buffer, cells):
+    """In-place negation of an arena buffer (sketch of ``-x``)."""
+    c2 = 2 * cells
+    counts = buffer[:c2]
+    np.negative(counts, out=counts)
+    fps = buffer[c2:]
+    for start in range(0, fps.size, _FOLD_BLOCK):
+        f = fps[start:start + _FOLD_BLOCK]
+        np.subtract(MERSENNE31, f, out=f)
+        _fold_mersenne31_inplace(f)
+
+
+@_kernel
+def level_route(top, levels):
+    """Route batch entries into nested subsampling levels.
+
+    ``top`` holds each entry's deepest surviving level.  Returns
+    ``(order, survivors)``: ``order`` sorts entries by ``top``
+    descending (stable), so the entries reaching level ``i`` are
+    exactly the first ``survivors[i]`` positions of the sorted batch —
+    the whole ``G_0 ⊇ G_1 ⊇ ...`` hierarchy becomes nested prefixes of
+    one sort instead of one boolean mask + fancy-index copy per level.
+    """
+    top = np.asarray(top, dtype=np.int64)
+    # Levels are O(log n) so the descending key fits int16, which takes
+    # numpy's radix-sort path instead of a comparison sort.
+    order = np.argsort((levels - top).astype(np.int16), kind="stable")
+    counts = np.bincount(top, minlength=levels + 1)
+    survivors = np.cumsum(counts[::-1])[::-1]
+    return order, survivors

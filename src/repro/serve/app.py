@@ -18,6 +18,10 @@ Routes (all bodies JSON; errors are ``{"error": {"code", "message"}}``)::
                                         replay of a batch_id -> 200 with
                                         the original receipt; queue full
                                         -> 429 + Retry-After)
+    POST   /v1/tenants/{t}/as_batch     same batch semantics, columnar
+                                        body: {"lo": [...], "hi": [...],
+                                        "delta": [...]} (delta optional
+                                        -> unit insertions)
     POST   /v1/tenants/{t}/stream       NDJSON update stream (one JSON
                                         update per line; backpressure by
                                         connection flow control)
@@ -53,6 +57,7 @@ from .tenants import (
     Tenant,
     TenantRegistry,
     UnknownTenant,
+    parse_columns,
     parse_update,
     parse_updates,
 )
@@ -278,6 +283,7 @@ class ServeApp:
             ],
         ] = {
             "batches": self._submit_batch,
+            "as_batch": self._submit_batch_columnar,
             "stream": self._submit_stream,
             "flush": self._flush,
             "seal": self._seal,
@@ -305,6 +311,28 @@ class ServeApp:
     async def _submit_batch(
         self, tenant: Tenant, receive: _Receive
     ) -> "tuple[int, Mapping[str, Any], dict[str, str]]":
+        return await self._ingest_batch(
+            tenant, receive, lambda payload: parse_updates(payload.get("updates"))
+        )
+
+    async def _submit_batch_columnar(
+        self, tenant: Tenant, receive: _Receive
+    ) -> "tuple[int, Mapping[str, Any], dict[str, str]]":
+        """Columnar twin of ``batches``: ``lo``/``hi``/``delta`` arrays.
+
+        Decodes to the same update list as the row-wise form (see
+        :func:`~repro.serve.tenants.parse_columns`), then shares the
+        entire admission path — idempotency, validation, queue, receipt
+        shape — so the two endpoints are interchangeable on the wire.
+        """
+        return await self._ingest_batch(tenant, receive, parse_columns)
+
+    async def _ingest_batch(
+        self,
+        tenant: Tenant,
+        receive: _Receive,
+        decode: "Callable[[Mapping[str, Any]], list[Any]]",
+    ) -> "tuple[int, Mapping[str, Any], dict[str, str]]":
         self._require_accepting()
         payload = await self._read_json(receive)
         if not isinstance(payload, Mapping):
@@ -317,9 +345,9 @@ class ServeApp:
             if original is not None:
                 tenant.batches_deduplicated += 1
                 return 200, {**original, "replayed": True}, {}
-        updates = parse_updates(payload.get("updates"))
+        updates = decode(payload)
         if not updates:
-            raise _HttpError(400, "BAD_REQUEST", "'updates' must be non-empty")
+            raise _HttpError(400, "BAD_REQUEST", "the batch must be non-empty")
         for update in updates:
             update.validate_universe(tenant.spec.n)
         job = IngestJob(tenant=tenant, updates=updates)

@@ -122,4 +122,33 @@ def render_metrics(app: "ServeApp") -> str:
             "repro_serve_query_payload_bytes_total",
             t.query_payload_bytes, {"tenant": t.name},
         ))
+
+    from .. import kernels
+
+    family(
+        "repro_kernel_backend_info", "gauge",
+        "Active compiled-kernel backend (value is always 1).",
+    )
+    out.append(_line(
+        "repro_kernel_backend_info", 1, {"backend": kernels.backend_name()},
+    ))
+    family(
+        "repro_kernel_calls_total", "counter",
+        "Kernel invocations, per kernel and implementing backend.",
+    )
+    stats = kernels.kernel_stats()
+    for row in stats:
+        out.append(_line(
+            "repro_kernel_calls_total", row["calls"],
+            {"kernel": row["kernel"], "backend": row["backend"]},
+        ))
+    family(
+        "repro_kernel_seconds_total", "counter",
+        "Wall-clock seconds inside kernels, per kernel and backend.",
+    )
+    for row in stats:
+        out.append(_line(
+            "repro_kernel_seconds_total", row["seconds"],
+            {"kernel": row["kernel"], "backend": row["backend"]},
+        ))
     return "\n".join(out) + "\n"

@@ -136,6 +136,43 @@ def parse_update(item: Any) -> EdgeUpdate:
     )
 
 
+def _req_column(payload: Mapping[str, Any], field: str) -> "list[int]":
+    values = payload.get(field)
+    if not isinstance(values, (list, tuple)):
+        raise _fail(f"column {field!r} must be an array of integers")
+    for value in values:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise _fail(
+                f"column {field!r} must contain only integers, got {value!r}"
+            )
+    return list(values)
+
+
+def parse_columns(payload: Mapping[str, Any]) -> "list[EdgeUpdate]":
+    """Decode columnar ``lo``/``hi``/optional ``delta`` arrays into updates.
+
+    The columnar form carries exactly the row-wise information —
+    ``updates[i] == [lo[i], hi[i], delta[i]]`` — so it decodes to the
+    identical update list and the two ingest endpoints are
+    wire-equivalent (parity pinned by ``tests/test_serve.py``).  An
+    omitted ``delta`` column means unit insertions, matching the
+    ``[u, v]`` pair form.
+    """
+    lo = _req_column(payload, "lo")
+    hi = _req_column(payload, "hi")
+    if len(hi) != len(lo):
+        raise _fail(f"column 'hi' length {len(hi)} != 'lo' length {len(lo)}")
+    if payload.get("delta") is None:
+        delta: "list[int]" = [1] * len(lo)
+    else:
+        delta = _req_column(payload, "delta")
+        if len(delta) != len(lo):
+            raise _fail(
+                f"column 'delta' length {len(delta)} != 'lo' length {len(lo)}"
+            )
+    return [EdgeUpdate(u, v, d) for u, v, d in zip(lo, hi, delta)]
+
+
 class Tenant:
     """One spec + engine + serialisation lock + counters."""
 

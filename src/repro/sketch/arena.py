@@ -46,27 +46,17 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..errors import SketchCompatibilityError
-from ..hashing import MERSENNE31
+from ..kernels import get as _get_kernel
+from ..kernels.reference import _fold_mersenne31_inplace  # noqa: F401  (re-export)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .bank import CellBank
 
 __all__ = ["SketchArena", "ArenaBacked", "ensure_arena"]
 
-
-def _fold_mersenne31_inplace(f: np.ndarray) -> None:
-    """Reduce ``f`` (values in ``[0, 2^32)``) mod ``2^31 - 1`` in place.
-
-    One Mersenne fold suffices below ``2^32`` — the range of a sum or
-    difference-plus-modulus of two reduced fingerprints — followed by
-    the canonical ``M -> 0`` fix-up.  Produces exactly
-    :func:`~repro.hashing.field.mod_mersenne31`'s residues with fewer
-    passes and a single block-sized temporary.
-    """
-    tmp = f >> 31
-    f &= MERSENNE31
-    f += tmp
-    f[f == MERSENNE31] = 0
+_K_FOLD = _get_kernel("arena_fold")
+_K_FOLD_SPARSE = _get_kernel("arena_fold_sparse")
+_K_NEGATE = _get_kernel("arena_negate")
 
 
 class SketchArena:
@@ -200,13 +190,6 @@ class SketchArena:
 
     # -- whole-buffer linear algebra -------------------------------------------
 
-    #: Elements per fold block — 128k int64 = 1 MiB, sized so one block
-    #: plus its single temporary stays cache-resident while the fold's
-    #: multiple passes run.  An unblocked whole-buffer fold on a
-    #: hierarchy sketch streams tens of MB through DRAM once per pass
-    #: and ends up *slower* than the old per-bank loop it replaces.
-    _FOLD_BLOCK = 1 << 17
-
     def _require_combinable(self, other: "SketchArena", op: str = "merge") -> None:
         if other.layout != self.layout:
             raise SketchCompatibilityError(
@@ -226,28 +209,12 @@ class SketchArena:
     def _combine_raw(self, raw: np.ndarray, subtract: bool) -> None:
         """Fold a raw buffer (same layout, already validated) into this one.
 
-        One in-place add/sub over the count half; a blocked in-place
-        modular add/sub over the fingerprint half — identical cell for
+        Routed through the ``arena_fold`` kernel — identical cell for
         cell to the per-bank ``CellBank.merge``/``subtract`` it
         replaces, without per-bank Python overhead or DRAM-sized
         temporaries.
         """
-        c2 = 2 * self.cells
-        counts = self.buffer[:c2]
-        fps = self.buffer[c2:]
-        other_fps = raw[c2:]
-        if subtract:
-            counts -= raw[:c2]
-        else:
-            counts += raw[:c2]
-        for start in range(0, fps.size, self._FOLD_BLOCK):
-            f = fps[start:start + self._FOLD_BLOCK]
-            if subtract:
-                f -= other_fps[start:start + self._FOLD_BLOCK]
-                f += MERSENNE31
-            else:
-                f += other_fps[start:start + self._FOLD_BLOCK]
-            _fold_mersenne31_inplace(f)
+        _K_FOLD(self.buffer, raw, self.cells, subtract)
 
     def _combine_sparse(
         self, idx: np.ndarray, values: np.ndarray, subtract: bool
@@ -258,33 +225,14 @@ class SketchArena:
         (so indices are unique and fancy assignment is well-defined) and
         fingerprint values already reduced — both validated by the
         serialisation layer.  Cost is ``O(nnz)``, not ``O(cells)``: the
-        coordinator-merge win for lightly-loaded site sketches.
+        coordinator-merge win for lightly-loaded site sketches.  Routed
+        through the ``arena_fold_sparse`` kernel.
         """
-        c2 = 2 * self.cells
-        split = int(np.searchsorted(idx, c2))
-        buf = self.buffer
-        # Positions are unique (strictly increasing), so buffered
-        # fancy-index gather/scatter is safe — and far cheaper than the
-        # unbuffered ufunc.at scatter.
-        if subtract:
-            buf[idx[:split]] -= values[:split]
-            folded = buf[idx[split:]] - values[split:] + MERSENNE31
-        else:
-            buf[idx[:split]] += values[:split]
-            folded = buf[idx[split:]] + values[split:]
-        _fold_mersenne31_inplace(folded)
-        buf[idx[split:]] = folded
+        _K_FOLD_SPARSE(self.buffer, self.cells, idx, values, subtract)
 
     def negate(self) -> None:
         """In-place negation: afterwards the arena sketches ``-x``."""
-        c2 = 2 * self.cells
-        counts = self.buffer[:c2]
-        np.negative(counts, out=counts)
-        fps = self.buffer[c2:]
-        for start in range(0, fps.size, self._FOLD_BLOCK):
-            f = fps[start:start + self._FOLD_BLOCK]
-            np.subtract(MERSENNE31, f, out=f)
-            _fold_mersenne31_inplace(f)
+        _K_NEGATE(self.buffer, self.cells)
 
     # -- accounting -------------------------------------------------------------
 

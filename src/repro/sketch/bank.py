@@ -32,8 +32,11 @@ import numpy as np
 from ..errors import SketchCompatibilityError
 from ..hashing import MERSENNE31, HashSource
 from ..hashing.field import mod_mersenne31, powmod_array
+from ..kernels import get as _get_kernel
 
 __all__ = ["CellBank", "decode_cells"]
+
+_K_SCATTER = _get_kernel("scatter_multi")
 
 
 class CellBank:
@@ -90,26 +93,12 @@ class CellBank:
 
         Equivalent to calling :meth:`scatter` once per entry of
         ``cells_per_row``, but the fingerprint powers — the expensive
-        part of a scatter — are computed once and shared, and the
-        modular reduction of the fingerprint arrays is deferred until
-        all rows are applied.  Both banks route every item into one
-        bucket per hash-table row, so this halves-to-thirds the scatter
-        cost of the hot path.
+        part of a scatter — are computed once per unique item and
+        shared across rows, and the modular reduction of the
+        fingerprint arrays touches only the scattered cells.  Routed
+        through the ``scatter_multi`` kernel of :mod:`repro.kernels`.
         """
-        items = np.asarray(items, dtype=np.int64)
-        deltas = np.asarray(deltas, dtype=np.int64)
-        weighted = items * deltas
-        dmod = np.mod(deltas, MERSENNE31)
-        c1 = mod_mersenne31(dmod * powmod_array(self.z1, items))
-        c2 = mod_mersenne31(dmod * powmod_array(self.z2, items))
-        for cells in cells_per_row:
-            cells = np.asarray(cells, dtype=np.int64)
-            np.add.at(self.phi, cells, deltas)
-            np.add.at(self.iota, cells, weighted)
-            np.add.at(self.fp1, cells, c1)
-            np.add.at(self.fp2, cells, c2)
-        self.fp1[:] = mod_mersenne31(self.fp1)
-        self.fp2[:] = mod_mersenne31(self.fp2)
+        _K_SCATTER(self, cells_per_row, items, deltas)
 
     def _require_combinable(self, other: "CellBank", op: str = "merge") -> None:
         if (
@@ -207,7 +196,13 @@ def decode_cells(
     ok &= (index >= 0) & (index < domain)
     idx_clipped = np.clip(index, 0, domain - 1)
     phimod = np.mod(phi, MERSENNE31)
-    want1 = mod_mersenne31(phimod * powmod_array(z1, idx_clipped))
-    want2 = mod_mersenne31(phimod * powmod_array(z2, idx_clipped))
+    # Powers only for the (few) distinct candidate indices.
+    uniq, inv = np.unique(idx_clipped.ravel(), return_inverse=True)
+    want1 = mod_mersenne31(
+        phimod * powmod_array(z1, uniq)[inv].reshape(idx_clipped.shape)
+    )
+    want2 = mod_mersenne31(
+        phimod * powmod_array(z2, uniq)[inv].reshape(idx_clipped.shape)
+    )
     ok &= (fp1 == want1) & (fp2 == want2)
     return ok, index, phi

@@ -28,10 +28,13 @@ Two implementations:
 
 from __future__ import annotations
 
+from itertools import chain
+
 import numpy as np
 
 from ..errors import SamplerFailed, SketchCompatibilityError, incompatible
 from ..hashing import HashSource
+from ..kernels import get as _get_kernel
 from ..util import ceil_log2
 from .arena import ArenaBacked
 from .bank import CellBank, decode_cells
@@ -39,6 +42,8 @@ from .base import LinearSketch
 from .onesparse import OneSparseCell
 
 __all__ = ["L0Sampler", "L0SamplerBank"]
+
+_K_DECODE_ALL = _get_kernel("decode_all")
 
 
 def _default_levels(domain: int) -> int:
@@ -328,8 +333,47 @@ class L0SamplerBank(ArenaBacked):
         """
         if not sampler_ids:
             raise ValueError("sampler_ids must be non-empty")
-        idx2d = np.stack([self._sampler_cells(family, s) for s in sampler_ids])
-        return self._sample_from(family, self.bank.summed_cells(idx2d))
+        status, items, values = self.sample_many(family, [sampler_ids])
+        if int(status[0]) == 0:
+            return int(items[0]), int(values[0])
+        err = SamplerFailed(
+            "sketched vector is zero" if int(status[0]) == 1
+            else "no cell decoded to a single item"
+        )
+        err.vector_is_zero = int(status[0]) == 1
+        raise err
+
+    def sample_many(
+        self, family: int, member_groups: list[list[int]]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`sample_sum` over many member groups at once.
+
+        Decodes the summed sampler of every group in one whole-bank
+        kernel call (``decode_all``) instead of one Python round-trip
+        per group — the Borůvka extraction loop decodes *all* current
+        components of a round this way.  Returns parallel ``(status,
+        items, values)`` arrays: status ``0`` = decoded (a sample of
+        ``Σ_s x_{f,s}`` identical to :meth:`sample_sum`'s), ``1`` =
+        zero vector, ``2`` = recovery failure.
+        """
+        count = len(member_groups)
+        sizes = np.fromiter(
+            (len(g) for g in member_groups), dtype=np.int64, count=count
+        )
+        if count == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        if bool((sizes < 1).any()):
+            raise ValueError("every member group must be non-empty")
+        total = int(sizes.sum())
+        members = np.fromiter(
+            chain.from_iterable(member_groups), dtype=np.int64, count=total
+        )
+        starts = (
+            family * self.samplers + members
+        ) * self._cells_per_sampler
+        seg_offsets = np.concatenate(([0], np.cumsum(sizes)))
+        return _K_DECODE_ALL(self, family, starts, seg_offsets)
 
     def _sample_from(
         self,

@@ -7,3 +7,9 @@ def ingest_all(sketch, stream):
     for upd in stream.updates():
         sketch.update(upd)               # REP-P001: per-token ingestion loop
     return pickle.dumps(sketch)          # REP-P002: pickled sketch bytes
+
+
+def fold_cells(bank, other):
+    for c in range(bank.phi.size):
+        bank.phi[c] += other.phi[c]      # REP-P003: per-cell Python loop
+    return bank

@@ -4,3 +4,9 @@
 def ingest_all(sketch, stream):
     sketch.consume_batch(stream.as_batch())
     return sketch
+
+
+def restore_banks(banks, arrays):
+    for bank, chunk in zip(banks, arrays):
+        bank.phi[:] = chunk              # whole-array slice, not per-cell
+    return banks

@@ -1,0 +1,13 @@
+"""Fixture: per-cell loops are the kernel directory's own business."""
+
+
+def fold_cells(bank, other):
+    for c in range(bank.phi.size):
+        bank.phi[c] += other.phi[c]      # fine here: repro/kernels/ owns cells
+    return bank
+
+
+def slice_assign(bank, arrays):
+    for name, bank_field in (("fp1", bank.fp1), ("fp2", bank.fp2)):
+        bank_field[:] = arrays[name]     # whole-array slice, not per-cell
+    return bank

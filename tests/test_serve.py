@@ -227,6 +227,91 @@ class TestIngestAndParity:
 
         run(scenario())
 
+    def test_columnar_as_batch_matches_batches(self):
+        """``as_batch`` columnar ingest lands byte-identical to ``batches``.
+
+        Same kind, same seed, same workload — one tenant fed the
+        row-wise form, one the columnar form; their codec-v2 snapshots
+        must match exactly, which pins every cell of the sketch state.
+        """
+        async def scenario():
+            kind = "spanning_forest"
+            columns = {
+                "lo": [u for u, _, _ in WORKLOAD],
+                "hi": [v for _, v, _ in WORKLOAD],
+                "delta": [d for _, _, d in WORKLOAD],
+            }
+            async with AsgiClient(create_app()) as client:
+                for name in ("rows", "cols"):
+                    decl = tenant_declaration(kind, name=name)
+                    assert (await client.post(
+                        "/v1/tenants", json=decl)).status == 201
+                r = await client.post("/v1/tenants/rows/batches",
+                                      json={"updates": WORKLOAD})
+                assert r.status == 202, r.text
+                r = await client.post("/v1/tenants/cols/as_batch",
+                                      json=columns)
+                assert r.status == 202, r.text
+                # Same receipt shape and update count as the row form.
+                assert r.json()["updates"] == len(WORKLOAD)
+                snaps = []
+                for name in ("rows", "cols"):
+                    await client.post(f"/v1/tenants/{name}/flush")
+                    r = await client.get(f"/v1/tenants/{name}/snapshot")
+                    assert r.status == 200
+                    snaps.append(r.json()["blob"])
+                assert snaps[0] == snaps[1]
+
+        run(scenario())
+
+    def test_columnar_default_delta_and_idempotency(self):
+        async def scenario():
+            async with AsgiClient(create_app()) as client:
+                await client.post(
+                    "/v1/tenants", json=tenant_declaration("spanning_forest")
+                )
+                # Omitted delta column means unit insertions.
+                body = {"lo": [0, 1], "hi": [1, 2], "batch_id": "b-1"}
+                r = await client.post(
+                    "/v1/tenants/spanning_forest/as_batch", json=body
+                )
+                assert r.status == 202 and r.json()["updates"] == 2
+                receipt = r.json()
+                # Replay returns the original receipt, ingests nothing.
+                r = await client.post(
+                    "/v1/tenants/spanning_forest/as_batch", json=body
+                )
+                assert r.status == 200
+                assert r.json() == {**receipt, "replayed": True}
+                info = (await client.get(
+                    "/v1/tenants/spanning_forest")).json()
+                assert info["batches_deduplicated"] == 1
+
+        run(scenario())
+
+    @pytest.mark.parametrize("body,code", [
+        ({"lo": [], "hi": []}, "BAD_REQUEST"),
+        ({"lo": [0], "hi": [1, 2]}, "WIRE_INVALID"),            # ragged
+        ({"lo": [0], "hi": [1], "delta": []}, "WIRE_INVALID"),  # ragged delta
+        ({"lo": [0], "hi": ["x"]}, "WIRE_INVALID"),
+        ({"lo": 3, "hi": [1]}, "WIRE_INVALID"),
+        ({"lo": [0], "hi": [0]}, "STREAM_INVALID"),             # self-loop
+        ({"lo": [0], "hi": [N]}, "STREAM_INVALID"),             # outside
+    ])
+    def test_rejected_columnar_batches(self, body, code):
+        async def scenario():
+            async with AsgiClient(create_app()) as client:
+                await client.post(
+                    "/v1/tenants", json=tenant_declaration("spanning_forest")
+                )
+                r = await client.post(
+                    "/v1/tenants/spanning_forest/as_batch", json=body
+                )
+                assert r.status == 400, r.text
+                assert r.json()["error"]["code"] == code
+
+        run(scenario())
+
     def test_sharded_tenant_matches_local(self):
         async def scenario():
             reference = reference_engine("mincut")

@@ -13,6 +13,13 @@ sketches are identical —
 Linearity makes all three exact, so the harness compares serialised
 bytes — cell arrays, parameters, and seeds at once.  Algebraic
 identities of ``subtract``/``negate`` ride along at the bottom.
+
+The whole module runs once per available kernel backend (the autouse
+``kernel_backend`` fixture below): byte-identity across backends is the
+parity contract of :mod:`repro.kernels`, and this harness is what pins
+it — a backend whose kernels drift by even one residue fails here on
+hypothesis-generated streams.  On a numpy-only install that is a single
+pass; where numba imports, every property runs under both backends.
 """
 
 from __future__ import annotations
@@ -44,7 +51,27 @@ from repro.temporal import EpochManager, EpochTimeline, TemporalQueryEngine
 
 from strategies import streams_with_epochs
 
+from repro import kernels
+
 N = 8
+
+
+@pytest.fixture(
+    params=kernels.available_backends(),
+    ids=lambda backend: f"kernels-{backend}",
+    autouse=True,
+    scope="module",
+)
+def kernel_backend(request):
+    """Pin the parity contract: the harness repeats per kernel backend."""
+    previous = kernels.backend_name()
+    selected = kernels.use(request.param)
+    assert selected == request.param, (
+        f"backend {request.param!r} advertised as available but "
+        f"selection fell back to {selected!r}"
+    )
+    yield selected
+    kernels.use(previous)
 
 
 def _forest(seed):
